@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Disco_experiments List Micro Printf String Term

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Char Disco_core Disco_graph Disco_hash Disco_util Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

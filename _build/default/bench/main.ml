@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+   for paper-vs-measured). Usage:
+
+     dune exec bench/main.exe                        # all figures, small scale
+     dune exec bench/main.exe -- --figure fig3       # one figure
+     dune exec bench/main.exe -- --scale paper       # paper-size topologies
+     dune exec bench/main.exe -- --figure micro      # Bechamel micro-benches
+*)
+
+open Cmdliner
+module Figures = Disco_experiments.Figures
+
+let run figure scale seed =
+  match Figures.scale_of_string scale with
+  | None -> `Error (false, Printf.sprintf "unknown scale %S (small|paper)" scale)
+  | Some scale -> (
+      match figure with
+      | "all" ->
+          Figures.run_all ~seed scale;
+          Micro.run ();
+          `Ok ()
+      | "micro" ->
+          Micro.run ();
+          `Ok ()
+      | id when List.mem id Figures.all_ids ->
+          Figures.run ~seed scale id;
+          `Ok ()
+      | id ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown figure %S (expected one of: %s, micro, all)"
+                id
+                (String.concat ", " Figures.all_ids) ))
+
+let figure =
+  let doc = "Figure/table to regenerate (fig2..fig10, addr, overlay, nerror, synopsis, micro, all)." in
+  Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"ID" ~doc)
+
+let scale =
+  let doc = "Topology scale: small (minutes) or paper (paper-sized synthetics)." in
+  Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let seed =
+  let doc = "Deterministic RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "Regenerate the Disco paper's evaluation figures and tables" in
+  let info = Cmd.info "disco-bench" ~doc in
+  Cmd.v info Term.(ret (const run $ figure $ scale $ seed))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,69 @@
+(* Bechamel micro-benchmarks over the core primitives: one Test.make per
+   operation the protocols lean on. Reported as ns/run (OLS fit against the
+   run count on the monotonic clock). *)
+
+open Bechamel
+open Toolkit
+
+let make_graph n =
+  let rng = Disco_util.Rng.create 9 in
+  Disco_graph.Gen.gnm ~rng ~n ~m:(4 * n)
+
+let tests () =
+  let g = make_graph 1024 in
+  let ws = Disco_graph.Dijkstra.make_workspace g in
+  let rng = Disco_util.Rng.create 17 in
+  let nd = Disco_core.Nddisco.build ~rng g in
+  let disco = Disco_core.Disco.of_nddisco ~rng nd in
+  let counter = ref 0 in
+  let next_pair () =
+    incr counter;
+    let s = 37 * !counter mod 1024 and t = (53 * !counter) + 7 in
+    (s, t mod 1024)
+  in
+  let payload = String.init 256 (fun i -> Char.chr (i mod 256)) in
+  [
+    Test.make ~name:"sha256/256B"
+      (Staged.stage (fun () -> ignore (Disco_hash.Sha256.digest payload)));
+    Test.make ~name:"dijkstra/sssp-1024"
+      (Staged.stage (fun () -> ignore (Disco_graph.Dijkstra.sssp ~ws g 0)));
+    Test.make ~name:"dijkstra/k-closest-100"
+      (Staged.stage (fun () ->
+           let s, _ = next_pair () in
+           ignore (Disco_graph.Dijkstra.k_closest ~ws g s 100)));
+    Test.make ~name:"address/encode"
+      (Staged.stage (fun () ->
+           let v = fst (next_pair ()) in
+           ignore
+             (Disco_core.Address.make g
+                ~route:
+                  (Disco_core.Landmarks.address_route
+                     nd.Disco_core.Nddisco.landmarks v))));
+    Test.make ~name:"disco/route-first"
+      (Staged.stage (fun () ->
+           let s, t = next_pair () in
+           if s <> t then ignore (Disco_core.Disco.route_first disco ~src:s ~dst:t)));
+    Test.make ~name:"disco/route-later"
+      (Staged.stage (fun () ->
+           let s, t = next_pair () in
+           if s <> t then ignore (Disco_core.Disco.route_later disco ~src:s ~dst:t)));
+  ]
+
+let run () =
+  Printf.printf "\n== micro: Bechamel benchmarks (ns/run, OLS fit) ==\n%!";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"disco" (tests ()))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, fit) ->
+      match Analyze.OLS.estimates fit with
+      | Some (t :: _) -> Printf.printf "  %-28s %12.1f ns/run\n" name t
+      | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort compare rows)

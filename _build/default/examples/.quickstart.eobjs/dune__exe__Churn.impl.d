@@ -1,0 +1,1 @@
+examples/churn.ml: Disco_dynamic Disco_graph Disco_util Fun List Printf

@@ -1,0 +1,1 @@
+examples/internet_routing.ml: Disco_experiments Disco_graph Disco_util Printf

@@ -1,0 +1,1 @@
+examples/internet_routing.mli:

@@ -1,0 +1,1 @@
+examples/mobility.ml: Array Disco_core Disco_graph Disco_util Format List Printf String

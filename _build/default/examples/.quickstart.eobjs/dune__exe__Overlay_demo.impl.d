@@ -1,0 +1,1 @@
+examples/overlay_demo.ml: Array Disco_core Disco_graph Disco_hash Disco_synopsis Disco_util Float List Printf String

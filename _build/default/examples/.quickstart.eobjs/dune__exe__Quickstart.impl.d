@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Disco_core Disco_graph Disco_util Format List Printf String

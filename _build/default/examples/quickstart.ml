@@ -1,0 +1,56 @@
+(* Quickstart: build a network, run Disco over it, route on flat names.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Graph = Disco_graph.Graph
+module Gen = Disco_graph.Gen
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Disco = Disco_core.Disco
+
+let () =
+  (* 1. A 256-node random network with average degree 8 (any connected
+     weighted graph works; see Disco_graph.Graph.Builder to hand-build). *)
+  let rng = Rng.create 2024 in
+  let graph = Gen.gnm ~rng ~n:256 ~m:1024 in
+  Printf.printf "network: %d nodes, %d links\n" (Graph.n graph) (Graph.m graph);
+
+  (* 2. Converged Disco state: landmarks, vicinities, addresses, sloppy
+     groups, dissemination overlay, resolution database. *)
+  let disco = Disco.build ~rng graph in
+  let nd = disco.Disco.nd in
+  Printf.printf "landmarks: %d, vicinity size: %d, sloppy groups: %d\n"
+    (Disco_core.Landmarks.count nd.Disco_core.Nddisco.landmarks)
+    (Disco_core.Vicinity.k nd.Disco_core.Nddisco.vicinity)
+    (Disco_core.Groups.group_count disco.Disco.groups);
+
+  (* 3. Nodes carry flat names; the routing layer only ever hashes them. *)
+  let src = 3 and dst = 200 in
+  Printf.printf "\nrouting %S -> %S\n" nd.Disco_core.Nddisco.names.(src)
+    nd.Disco_core.Nddisco.names.(dst);
+  Printf.printf "destination's address (internal, not its name): %s\n"
+    (Format.asprintf "%a" Disco_core.Address.pp (Disco_core.Nddisco.address nd dst));
+
+  (* 4. First packet: the source finds a vicinity node in the destination's
+     sloppy group, which supplies the address. Stretch <= 7. *)
+  let first = Disco.route_first disco ~src ~dst in
+  let shortest = Dijkstra.distance graph src dst in
+  let len path = Dijkstra.path_length graph path in
+  Printf.printf "first packet : %d hops (stretch %.2f) via %s\n"
+    (List.length first - 1)
+    (len first /. shortest)
+    (String.concat "-" (List.map string_of_int first));
+
+  (* 5. Later packets: the handshake brings worst-case stretch down to 3. *)
+  let later = Disco.route_later disco ~src ~dst in
+  Printf.printf "later packets: %d hops (stretch %.2f) via %s\n"
+    (List.length later - 1)
+    (len later /. shortest)
+    (String.concat "-" (List.map string_of_int later));
+
+  (* 6. Per-node state stays around sqrt(n log n) entries — far below the
+     n-1 a shortest-path protocol would need. *)
+  let d = Disco.state_entries disco src in
+  Printf.printf "\nstate at node %d: %d entries (path vector would need %d)\n" src
+    (Disco.total_entries d)
+    (Graph.n graph - 1)

@@ -1,0 +1,1 @@
+lib/baselines/bvr.ml: Array Disco_graph Disco_util Float Fun List

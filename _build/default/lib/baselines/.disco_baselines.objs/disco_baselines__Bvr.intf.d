@@ -1,0 +1,1 @@
+lib/baselines/bvr.mli: Disco_graph Disco_util

@@ -1,0 +1,1 @@
+lib/baselines/s4.ml: Array Disco_core Disco_graph Disco_hash Hashtbl List

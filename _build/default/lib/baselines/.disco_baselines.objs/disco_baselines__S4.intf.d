@@ -1,0 +1,1 @@
+lib/baselines/s4.mli: Disco_core Disco_graph Disco_util

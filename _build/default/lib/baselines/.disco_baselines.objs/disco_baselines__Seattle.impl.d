@@ -1,0 +1,1 @@
+lib/baselines/seattle.ml: Array Disco_core Disco_graph Disco_hash Fun Hashtbl List

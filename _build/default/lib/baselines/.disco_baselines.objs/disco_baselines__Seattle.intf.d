@@ -1,0 +1,1 @@
+lib/baselines/seattle.mli: Disco_core Disco_graph

@@ -1,0 +1,1 @@
+lib/baselines/tz_hierarchy.ml: Array Disco_graph Disco_util Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/tz_hierarchy.mli: Disco_graph Disco_util

@@ -1,0 +1,1 @@
+lib/baselines/vrr.ml: Array Disco_core Disco_graph Disco_hash Disco_util Hashtbl Int64 List Queue

@@ -1,0 +1,1 @@
+lib/baselines/vrr.mli: Disco_core Disco_graph Disco_util

@@ -1,0 +1,101 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+
+type t = {
+  graph : Graph.t;
+  beacons : int array;
+  dist : float array array; (* dist.(b).(v): distance from beacon b to v *)
+  parent : int array array; (* beacon shortest-path trees, for fallback *)
+  routing_beacons : int;
+}
+
+let build ?beacons ?(routing_beacons = 10) ~rng graph =
+  let n = Graph.n graph in
+  let count =
+    match beacons with
+    | Some b -> max 1 (min b n)
+    | None ->
+        let f = float_of_int n in
+        max 1 (int_of_float (ceil (sqrt (f *. (log f /. log 2.0)))))
+  in
+  let beacons = Rng.sample_without_replacement rng count n in
+  Array.sort compare beacons;
+  let runs = Array.map (fun b -> Dijkstra.sssp graph b) beacons in
+  {
+    graph;
+    beacons;
+    dist = Array.map (fun (r : Dijkstra.sssp) -> r.Dijkstra.dist) runs;
+    parent = Array.map (fun (r : Dijkstra.sssp) -> r.Dijkstra.parent) runs;
+    routing_beacons = min routing_beacons count;
+  }
+
+let beacon_count t = Array.length t.beacons
+let coordinate t v = Array.map (fun d -> d.(v)) t.dist
+
+let state_entries t v =
+  ignore v;
+  2 * Array.length t.beacons
+
+(* The destination's [routing_beacons] closest beacons (indexes into
+   t.beacons), per the BVR paper's C_k(d). *)
+let closest_beacons t dst =
+  let idx = Array.init (Array.length t.beacons) Fun.id in
+  Array.sort (fun a b -> compare t.dist.(a).(dst) t.dist.(b).(dst)) idx;
+  Array.sub idx 0 t.routing_beacons
+
+(* BVR's asymmetric distance: delta = 10 * (sum of overshoot toward the
+   beacons the destination is close to) + undershoot. *)
+let delta t ~components ~node ~dst =
+  Array.fold_left
+    (fun acc b ->
+      let p = t.dist.(b).(node) and d = t.dist.(b).(dst) in
+      acc +. (10.0 *. Float.max 0.0 (p -. d)) +. Float.max 0.0 (d -. p))
+    0.0 components
+
+type mode = Greedy | Fallback of float
+(* BVR's fallback discipline: once stuck, ride the closest beacon's tree
+   and return to greedy only on strict improvement over the distance at
+   which fallback was entered — otherwise greedy would re-descend into the
+   same local minimum. *)
+
+let route t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Graph.n t.graph in
+    let components = closest_beacons t dst in
+    let b = components.(0) in
+    let beacon = t.beacons.(b) in
+    let best_neighbor u =
+      let best = ref None and best_d = ref infinity in
+      Graph.iter_neighbors t.graph u (fun v _ ->
+          let d = delta t ~components ~node:v ~dst in
+          if d < !best_d -. 1e-12 then begin
+            best := Some (v, d);
+            best_d := d
+          end);
+      !best
+    in
+    let rec step u acc ttl mode =
+      if u = dst then Some (List.rev (u :: acc))
+      else if ttl = 0 then None
+      else begin
+        let here = delta t ~components ~node:u ~dst in
+        match (mode, best_neighbor u) with
+        | Greedy, Some (v, d) when d < here -. 1e-12 ->
+            step v (u :: acc) (ttl - 1) Greedy
+        | Greedy, _ ->
+            if u = beacon then None (* stuck at the beacon: BVR would flood *)
+            else step u acc ttl (Fallback here)
+        | Fallback bound, Some (v, d) when d < bound -. 1e-12 ->
+            step v (u :: acc) (ttl - 1) Greedy
+        | Fallback _, _ -> (
+            if u = beacon then None
+            else
+              match t.parent.(b).(u) with
+              | -1 -> None
+              | p -> step p (u :: acc) (ttl - 1) mode)
+      end
+    in
+    step src [] (4 * n) Greedy
+  end

@@ -1,0 +1,157 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Core = Disco_core
+
+type t = {
+  graph : Graph.t;
+  names : Core.Name.t array;
+  landmarks : Core.Landmarks.t;
+  trees : Core.Landmark_trees.t;
+  ring : Disco_hash.Consistent_hash.t;
+  ws : Dijkstra.workspace;
+  ball_cache : (int, int -> (float * int) option) Hashtbl.t;
+}
+
+let build ?(params = Core.Params.default) ?names ?landmark_ids ~rng graph =
+  let n = Graph.n graph in
+  let names = match names with Some a -> a | None -> Core.Name.default_array n in
+  let landmarks =
+    match landmark_ids with
+    | Some ids -> Core.Landmarks.of_ids graph ids
+    | None -> Core.Landmarks.build ~rng ~params graph
+  in
+  let ring =
+    Disco_hash.Consistent_hash.create
+      ~replicas:params.Core.Params.resolution_replicas
+      ~owners:landmarks.Core.Landmarks.ids
+      ~owner_name:(fun lm -> names.(lm))
+      ()
+  in
+  {
+    graph;
+    names;
+    landmarks;
+    trees = Core.Landmark_trees.create graph;
+    ring;
+    ws = Dijkstra.make_workspace graph;
+    ball_cache = Hashtbl.create 256;
+  }
+
+let graph t = t.graph
+let landmarks t = t.landmarks
+let radius t v = t.landmarks.Core.Landmarks.dist.(v)
+
+(* Ball of [target]: every node strictly closer to [target] than
+   [target]'s landmark, as a lookup from node to (distance, predecessor)
+   in the shortest-path tree rooted at [target]. *)
+let ball t target =
+  match Hashtbl.find_opt t.ball_cache target with
+  | Some lookup -> lookup
+  | None ->
+      let run = Dijkstra.within_radius ~ws:t.ws t.graph target (radius t target) in
+      let lookup = Dijkstra.truncated_lookup run in
+      Hashtbl.add t.ball_cache target lookup;
+      lookup
+
+let in_cluster t ~node ~target = node <> target && ball t target node <> None
+
+(* Shortest path node ~> target via the ball's forest: predecessors lie one
+   step closer to the target, so the parent walk from [node] reads off the
+   node ~> target path in forward order (the graph is undirected). *)
+let cluster_path t ~node ~target =
+  let lookup = ball t target in
+  match lookup node with
+  | None -> None
+  | Some _ ->
+      let rec walk u acc =
+        if u = target then Some (List.rev (target :: acc))
+        else begin
+          match lookup u with
+          | None -> None
+          | Some (_, parent) -> walk parent (u :: acc)
+        end
+      in
+      walk node []
+
+let knows t u x =
+  if u = x then Some [ u ]
+  else if t.landmarks.Core.Landmarks.is_landmark.(x) then
+    Some (Core.Landmark_trees.path_to t.trees u ~lm:x)
+  else cluster_path t ~node:u ~target:x
+
+let raw_via_landmark t ~src ~dst =
+  let lm = t.landmarks.Core.Landmarks.nearest.(dst) in
+  if lm = src then Core.Landmark_trees.path_from t.trees ~lm dst
+  else begin
+    let to_landmark = Core.Landmark_trees.path_to t.trees src ~lm in
+    let onward = Core.Landmark_trees.path_from t.trees ~lm dst in
+    to_landmark @ List.tl onward
+  end
+
+let route_later t ~src ~dst =
+  if src = dst then [ src ]
+  else if t.landmarks.Core.Landmarks.is_landmark.(dst) then
+    Core.Landmark_trees.path_to t.trees src ~lm:dst
+  else begin
+    match cluster_path t ~node:src ~target:dst with
+    | Some p -> p
+    | None ->
+        let raw = raw_via_landmark t ~src ~dst in
+        Core.Shortcut.to_destination ~graph:t.graph ~knows:(knows t) ~dst raw
+  end
+
+let route_first t ~src ~dst =
+  if src = dst then [ src ]
+  else begin
+    let direct_known =
+      t.landmarks.Core.Landmarks.is_landmark.(dst)
+      || in_cluster t ~node:src ~target:dst
+    in
+    if direct_known then route_later t ~src ~dst
+    else begin
+      (* Resolution detour: the owner landmark of h(name_dst) holds the
+         destination's landmark; continue from there. *)
+      let owner = Disco_hash.Consistent_hash.owner_of_name t.ring t.names.(dst) in
+      let raw =
+        if owner = src then raw_via_landmark t ~src ~dst
+        else begin
+          let to_owner = Core.Landmark_trees.path_to t.trees src ~lm:owner in
+          let onward =
+            if t.landmarks.Core.Landmarks.nearest.(dst) = owner then
+              Core.Landmark_trees.path_from t.trees ~lm:owner dst
+            else raw_via_landmark t ~src:owner ~dst
+          in
+          to_owner @ List.tl onward
+        end
+      in
+      Core.Shortcut.to_destination ~graph:t.graph ~knows:(knows t) ~dst raw
+    end
+  end
+
+let cluster_sizes t =
+  let n = Graph.n t.graph in
+  let counts = Array.make n 0 in
+  let ws = Dijkstra.make_workspace t.graph in
+  for target = 0 to n - 1 do
+    let run = Dijkstra.within_radius ~ws t.graph target (radius t target) in
+    Array.iter
+      (fun u -> if u <> target then counts.(u) <- counts.(u) + 1)
+      run.Dijkstra.order
+  done;
+  counts
+
+let resolution_loads t =
+  let n = Graph.n t.graph in
+  let loads = Array.make n 0 in
+  Array.iter
+    (fun name ->
+      let owner = Disco_hash.Consistent_hash.owner_of_name t.ring name in
+      loads.(owner) <- loads.(owner) + 1)
+    t.names;
+  loads
+
+let state_entries t ~cluster_sizes ~resolution_loads v =
+  let landmark_entries = Core.Landmarks.count t.landmarks in
+  let cluster = cluster_sizes.(v) in
+  let labels = min (Graph.degree t.graph v) (cluster + landmark_entries) in
+  cluster + landmark_entries + labels + resolution_loads.(v)

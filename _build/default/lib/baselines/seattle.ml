@@ -1,0 +1,53 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Consistent_hash = Disco_hash.Consistent_hash
+
+type t = {
+  graph : Graph.t;
+  names : Disco_core.Name.t array;
+  ring : Consistent_hash.t;
+  resolver : int array; (* per destination *)
+  trees : (int, Dijkstra.sssp) Hashtbl.t;
+  ws : Dijkstra.workspace;
+}
+
+let build graph ~names =
+  let n = Graph.n graph in
+  if Array.length names <> n then invalid_arg "Seattle.build: names size";
+  let ring =
+    Consistent_hash.create
+      ~owners:(Array.init n Fun.id)
+      ~owner_name:(fun v -> names.(v))
+      ()
+  in
+  let resolver = Array.map (fun name -> Consistent_hash.owner_of_name ring name) names in
+  { graph; names; ring; resolver; trees = Hashtbl.create 64; ws = Dijkstra.make_workspace graph }
+
+let tree t root =
+  match Hashtbl.find_opt t.trees root with
+  | Some s -> s
+  | None ->
+      let s = Dijkstra.sssp ~ws:t.ws t.graph root in
+      Hashtbl.add t.trees root s;
+      s
+
+let shortest t ~src ~dst =
+  let s = tree t src in
+  Dijkstra.path_of_parents ~parent:(fun u -> s.Dijkstra.parent.(u)) ~src ~dst
+
+let resolver_of t dst = t.resolver.(dst)
+
+let route_later t ~src ~dst = if src = dst then [ src ] else shortest t ~src ~dst
+
+let route_first t ~src ~dst =
+  if src = dst then [ src ]
+  else begin
+    let r = t.resolver.(dst) in
+    if r = src || r = dst then route_later t ~src ~dst
+    else shortest t ~src ~dst:r @ List.tl (shortest t ~src:r ~dst)
+  end
+
+let state_entries t v =
+  let directory = ref 0 in
+  Array.iter (fun r -> if r = v then incr directory) t.resolver;
+  Graph.n t.graph - 1 + !directory

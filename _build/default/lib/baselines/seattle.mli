@@ -1,0 +1,26 @@
+(** SEATTLE (Kim, Caesar, Rexford — SIGCOMM 2008), a Fig 1 baseline.
+
+    SEATTLE routers run a link-state protocol (shortest paths to every
+    router: Θ(n) state) and look flat addresses up in a one-hop consistent
+    hashing directory over the routers themselves. First packets detour
+    through the resolver that owns the destination's hash — anywhere in
+    the network — and later packets follow exact shortest paths. It
+    therefore scales better than Ethernet but is neither o(n)-state nor
+    low-stretch on first packets, which is its row in Fig 1. *)
+
+type t
+
+val build : Disco_graph.Graph.t -> names:Disco_core.Name.t array -> t
+
+val resolver_of : t -> int -> int
+(** The router storing a destination's location (consistent hashing over
+    all routers). *)
+
+val route_first : t -> src:int -> dst:int -> int list
+(** Shortest path to the resolver, then shortest path onward. *)
+
+val route_later : t -> src:int -> dst:int -> int list
+(** Exact shortest path (the source caches the location). *)
+
+val state_entries : t -> int -> int
+(** n-1 link-state routes + the node's directory share. *)

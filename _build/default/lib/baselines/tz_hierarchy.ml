@@ -1,0 +1,125 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Heap = Disco_util.Heap
+module Rng = Disco_util.Rng
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  level : int array; (* highest level each node belongs to *)
+  pivot : int array array; (* pivot.(i).(v) = p_i(v); -1 if unreachable *)
+  pivot_dist : float array array; (* d(v, A_i) *)
+  bunch : (int, float) Hashtbl.t array; (* per node: w -> d(v, w) *)
+}
+
+let k t = t.k
+
+let level_sizes t =
+  let sizes = Array.make t.k 0 in
+  Array.iter
+    (fun l ->
+      for i = 0 to l do
+        sizes.(i) <- sizes.(i) + 1
+      done)
+    t.level;
+  sizes
+
+(* d(v, A_{i+1}), with the sentinel d(v, A_k) = infinity. *)
+let next_level_dist t i v =
+  if i + 1 >= t.k then infinity else t.pivot_dist.(i + 1).(v)
+
+(* Bunch contributions of one sampled node [w] at level [i]: every node u
+   with d(w, u) < d(u, A_{i+1}) learns a route to w (strict inequality,
+   as in TZ). A pruned Dijkstra from w: a node only propagates the search
+   if it satisfies the condition itself. *)
+let scatter t ~w ~i =
+  let g = t.graph in
+  let dist = Hashtbl.create 64 in
+  let heap = Heap.create () in
+  Heap.push heap 0.0 w;
+  Hashtbl.replace dist w 0.0;
+  let settled = Hashtbl.create 64 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not (Hashtbl.mem settled u) then begin
+          Hashtbl.replace settled u ();
+          if d < next_level_dist t i u then begin
+            if u <> w then Hashtbl.replace t.bunch.(u) w d;
+            Graph.iter_neighbors g u (fun v wgt ->
+                let nd = d +. wgt in
+                match Hashtbl.find_opt dist v with
+                | Some old when old <= nd -> ()
+                | _ ->
+                    Hashtbl.replace dist v nd;
+                    Heap.push heap nd v)
+          end
+        end
+  done
+
+let build ~rng ~k graph =
+  if k < 1 then invalid_arg "Tz_hierarchy.build: k >= 1";
+  let n = Graph.n graph in
+  let level = Array.make n 0 in
+  let q = float_of_int n ** (-1.0 /. float_of_int k) in
+  for v = 0 to n - 1 do
+    let rec climb i =
+      if i < k - 1 && Rng.bernoulli rng q then climb (i + 1) else i
+    in
+    level.(v) <- climb 0
+  done;
+  (* The top level must be nonempty or top-level pivots (and the stretch
+     guarantee) disappear. *)
+  if not (Array.exists (fun l -> l = k - 1) level) then
+    level.(Rng.int rng n) <- k - 1;
+  let members i =
+    Array.of_list
+      (List.filter (fun v -> level.(v) >= i) (List.init n Fun.id))
+  in
+  let pivot = Array.make k [||] and pivot_dist = Array.make k [||] in
+  for i = 0 to k - 1 do
+    let multi = Dijkstra.multi_source graph (members i) in
+    pivot.(i) <- multi.Dijkstra.msource;
+    pivot_dist.(i) <- multi.Dijkstra.mdist
+  done;
+  let t =
+    { graph; k; level; pivot; pivot_dist; bunch = Array.init n (fun _ -> Hashtbl.create 16) }
+  in
+  for w = 0 to n - 1 do
+    (* w contributes at each level it belongs to. *)
+    for i = 0 to level.(w) do
+      scatter t ~w ~i
+    done
+  done;
+  t
+
+let state t v = Hashtbl.length t.bunch.(v) + t.k
+
+let in_bunch t ~node ~target = node = target || Hashtbl.mem t.bunch.(node) target
+
+(* The TZ query: climb levels, alternating sides, until the current pivot
+   of one endpoint lies in the other's bunch; route via that pivot. *)
+let route_length t ~src ~dst =
+  if src = dst then 0.0
+  else begin
+    let rec climb i x y w =
+      if in_bunch t ~node:y ~target:w then begin
+        let d_xw = if w = x then 0.0 else t.pivot_dist.(i).(x) in
+        let d_yw = if w = y then 0.0 else Hashtbl.find t.bunch.(y) w in
+        d_xw +. d_yw
+      end
+      else begin
+        let i = i + 1 in
+        if i >= t.k then infinity (* disconnected *)
+        else begin
+          let x, y = (y, x) in
+          climb i x y t.pivot.(i).(x)
+        end
+      end
+    in
+    climb 0 src dst src
+  end
+
+let stretch_bound t = float_of_int ((2 * t.k) - 1)

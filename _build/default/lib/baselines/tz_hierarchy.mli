@@ -1,0 +1,41 @@
+(** The generalized Thorup–Zwick hierarchy: other points on the
+    state/stretch tradeoff curve (§6: "Disco has chosen one point in the
+    state/stretch tradeoff space ... can we translate other tradeoff
+    points to a distributed setting?").
+
+    TZ's full scheme samples nested landmark levels
+    [A_0 = V ⊇ A_1 ⊇ ... ⊇ A_{k-1}] (each kept with probability
+    [n^{-1/k}]) and gives every node a {e bunch}: at each level, the
+    sampled nodes closer than the nearest next-level sample. Routing via
+    the first common pivot yields worst-case stretch [2k - 1] with
+    [O~(n^{1/k})] state — [k = 2] is (essentially) the Disco/S4 regime,
+    larger [k] trades stretch for even smaller tables.
+
+    This is the {e static, name-dependent} skeleton of that family, enough
+    to measure the tradeoff curve (the [tradeoff] experiment); making its
+    higher-[k] points dynamic and name-independent is exactly the open
+    problem the paper poses. *)
+
+type t
+
+val build : rng:Disco_util.Rng.t -> k:int -> Disco_graph.Graph.t -> t
+(** [build ~rng ~k g] samples the hierarchy and computes all bunches.
+    Requires [k >= 1]; [k = 1] degenerates to full shortest-path state. *)
+
+val k : t -> int
+
+val level_sizes : t -> int array
+(** |A_0|, ..., |A_{k-1}|. *)
+
+val state : t -> int -> int
+(** Routing-table entries at a node: its bunch plus its per-level pivots. *)
+
+val route_length : t -> src:int -> dst:int -> float
+(** Length of the TZ route (via the first common pivot, taking the better
+    direction). Finite for every connected pair. *)
+
+val stretch_bound : t -> float
+(** The scheme's worst-case guarantee, [2k - 1]. *)
+
+val in_bunch : t -> node:int -> target:int -> bool
+(** Is [target] in [node]'s bunch? (Exposed for tests.) *)

@@ -1,0 +1,287 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Hash_space = Disco_hash.Hash_space
+module Rng = Disco_util.Rng
+module Core = Disco_core
+
+type entry = { ea : int; eb : int; next_a : int; next_b : int }
+
+type t = {
+  graph : Graph.t;
+  r : int;
+  vids : Hash_space.id array;
+  tables : entry list array;
+  final_vsets : int array array;
+  path_store : (int * int, int list) Hashtbl.t;
+  mutable fallbacks : int;
+}
+
+let pair_key x y = if x < y then (x, y) else (y, x)
+
+(* Greedy VRR forwarding over the given tables. [usable] filters which
+   physical neighbors may be used (joined nodes only, during build).
+
+   The packet is always committed to the known endpoint whose virtual id is
+   closest to the destination; it follows that endpoint's stored path hop
+   by hop, and any node on the way may re-commit to a strictly closer
+   endpoint. The strict-improvement rule ensures the endpoint sequence
+   converges on the destination (VRR's progress argument); a TTL catches
+   paths broken by the incremental join state. *)
+let greedy_route ~graph ~vids ~tables ~usable ~src ~dst =
+  let n = Graph.n graph in
+  let vd x = Hash_space.ring_distance vids.(x) vids.(dst) in
+  let better a b = Hash_space.compare_unsigned a b < 0 in
+  (* Next hop at [u] along some stored path ending at [e]. *)
+  let next_toward u e =
+    let neighbor = ref false in
+    Graph.iter_neighbors graph u (fun v _ -> if v = e && usable v then neighbor := true);
+    if !neighbor then Some e
+    else
+      List.find_map
+        (fun entry ->
+          if entry.ea = e && entry.next_a <> u then Some entry.next_a
+          else if entry.eb = e && entry.next_b <> u then Some entry.next_b
+          else None)
+        tables.(u)
+  in
+  (* [bound] is the virtual distance of the best endpoint ever committed;
+     it only shrinks (monotone descent in id space, VRR's progress
+     property), which rules out endpoint oscillation. *)
+  let rec step u committed bound acc ttl =
+    if u = dst then Some (List.rev (u :: acc))
+    else if ttl = 0 then None
+    else begin
+      let direct = ref false in
+      Graph.iter_neighbors graph u (fun v _ -> if v = dst && usable v then direct := true);
+      if !direct then Some (List.rev (dst :: u :: acc))
+      else begin
+        let committed = if committed = Some u then None else committed in
+        (* Strictly better endpoint than anything committed so far? *)
+        let best = ref None and best_d = ref bound in
+        let consider endpoint =
+          if endpoint <> u && usable endpoint then begin
+            let d = vd endpoint in
+            if better d !best_d then begin
+              best := Some endpoint;
+              best_d := d
+            end
+          end
+        in
+        Graph.iter_neighbors graph u (fun v _ -> if usable v then consider v);
+        List.iter
+          (fun e ->
+            consider e.ea;
+            consider e.eb)
+          tables.(u);
+        let target = match !best with Some _ as b -> b | None -> committed in
+        match target with
+        | None -> None
+        | Some e -> (
+            match next_toward u e with
+            | None -> None (* broken corridor *)
+            | Some hop -> step hop (Some e) !best_d (u :: acc) (ttl - 1))
+      end
+    end
+  in
+  (* Int64.minus_one is 2^64 - 1 read as unsigned: no initial bound. *)
+  step src None Int64.minus_one [] (8 * n)
+
+let install tables path =
+  match path with
+  | [] | [ _ ] -> ()
+  | first :: _ ->
+      let arr = Array.of_list path in
+      let len = Array.length arr in
+      let last = arr.(len - 1) in
+      for i = 0 to len - 1 do
+        let z = arr.(i) in
+        let next_a = if i = 0 then z else arr.(i - 1) in
+        let next_b = if i = len - 1 then z else arr.(i + 1) in
+        tables.(z) <- { ea = first; eb = last; next_a; next_b } :: tables.(z)
+      done
+
+(* r/2 successors and r/2 predecessors of [x] within [ring] (node ids
+   sorted by vid). [x] may or may not be present in [ring]. *)
+let ring_neighbors ~vids ~ring ~r x =
+  let m = Array.length ring in
+  if m = 0 then []
+  else begin
+    let half = max 1 (r / 2) in
+    (* First index with vid >= vid(x), excluding x itself when scanning. *)
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Hash_space.compare_unsigned vids.(ring.(mid)) vids.(x) < 0 then
+        lo := mid + 1
+      else hi := mid
+    done;
+    let start = !lo mod m in
+    let collect dir =
+      let out = ref [] and i = ref start and seen = ref 0 and steps = ref 0 in
+      if dir < 0 then i := (start + m - 1) mod m;
+      while !seen < half && !steps < m do
+        let candidate = ring.(!i) in
+        if candidate <> x then begin
+          out := candidate :: !out;
+          incr seen
+        end;
+        incr steps;
+        i := (!i + dir + m) mod m
+      done;
+      !out
+    in
+    List.sort_uniq compare (collect 1 @ collect (-1))
+  end
+
+let bfs_join_order rng graph =
+  let n = Graph.n graph in
+  let start = Rng.int rng n in
+  let order = Array.make n 0 and seen = Array.make n false in
+  let q = Queue.create () in
+  Queue.push start q;
+  seen.(start) <- true;
+  let idx = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!idx) <- u;
+    incr idx;
+    Graph.iter_neighbors graph u (fun v _ ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+  done;
+  assert (!idx = n);
+  order
+
+let build ?(r = 4) ?names ~rng graph =
+  let n = Graph.n graph in
+  let names = match names with Some a -> a | None -> Core.Name.default_array n in
+  let vids = Array.map Hash_space.of_name names in
+  let tables = Array.make n [] in
+  let path_store = Hashtbl.create (2 * n) in
+  let fallbacks = ref 0 in
+  let ws = Dijkstra.make_workspace graph in
+  let joined = Array.make n false in
+  (* Joined nodes sorted by vid, grown by insertion. *)
+  let joined_ring = ref [||] in
+  let insert_sorted x =
+    let a = !joined_ring in
+    let m = Array.length a in
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Hash_space.compare_unsigned vids.(a.(mid)) vids.(x) < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    let pos = !lo in
+    let b = Array.make (m + 1) x in
+    Array.blit a 0 b 0 pos;
+    Array.blit a pos b (pos + 1) (m - pos);
+    joined_ring := b
+  in
+  let shortest_path src dst =
+    let run = Dijkstra.sssp ~ws graph src in
+    Dijkstra.path_of_parents ~parent:(fun u -> run.Dijkstra.parent.(u)) ~src ~dst
+  in
+  let establish x y =
+    let key = pair_key x y in
+    if not (Hashtbl.mem path_store key) then begin
+      (* The joiner is excluded from the candidate set while its own setup
+         request is routed: it is virtually closest to its vset targets, so
+         allowing it would pull the request straight back (in real VRR the
+         request is routed by a proxy before the joiner holds any paths). *)
+      let path =
+        match
+          greedy_route ~graph ~vids ~tables
+            ~usable:(fun v -> joined.(v) && v <> x)
+            ~src:x ~dst:y
+        with
+        | Some p -> p
+        | None ->
+            incr fallbacks;
+            shortest_path x y
+      in
+      Hashtbl.replace path_store key path;
+      install tables path
+    end
+  in
+  let order = bfs_join_order rng graph in
+  Array.iter
+    (fun x ->
+      let vset = ring_neighbors ~vids ~ring:!joined_ring ~r x in
+      joined.(x) <- true;
+      insert_sorted x;
+      List.iter (fun y -> establish x y) vset)
+    order;
+  (* Converged vsets over the full ring; tear down stale paths. *)
+  let full_ring = Array.copy order in
+  Array.sort
+    (fun a b ->
+      let c = Hash_space.compare_unsigned vids.(a) vids.(b) in
+      if c <> 0 then c else compare a b)
+    full_ring;
+  let final_vsets =
+    Array.init n (fun x ->
+        Array.of_list (ring_neighbors ~vids ~ring:full_ring ~r x))
+  in
+  let final_pairs = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun x vs -> Array.iter (fun y -> Hashtbl.replace final_pairs (pair_key x y) ()) vs)
+    final_vsets;
+  (* Any final pair missing a path (cannot normally happen): set it up over
+     the fully built state. *)
+  Hashtbl.iter
+    (fun (x, y) () ->
+      if not (Hashtbl.mem path_store (x, y)) then begin
+        let path =
+          match
+            greedy_route ~graph ~vids ~tables ~usable:(fun _ -> true) ~src:x
+              ~dst:y
+          with
+          | Some p -> p
+          | None ->
+              incr fallbacks;
+              shortest_path x y
+        in
+        Hashtbl.replace path_store (x, y) path;
+        install tables path
+      end)
+    final_pairs;
+  (* Converged state keeps every path established during the joins: VRR's
+     converged state "depends on the order of node joins" (§5.1) precisely
+     because setup-time paths persist; this is also what concentrates state
+     on early hub nodes (Fig 4/5). *)
+  {
+    graph;
+    r;
+    vids;
+    tables;
+    final_vsets;
+    path_store;
+    fallbacks = !fallbacks;
+  }
+
+let route t ~src ~dst =
+  if src = dst then Some [ src ]
+  else
+    greedy_route ~graph:t.graph ~vids:t.vids ~tables:t.tables
+      ~usable:(fun _ -> true) ~src ~dst
+
+let state_entries t =
+  Array.mapi
+    (fun v entries -> List.length entries + Graph.degree t.graph v)
+    t.tables
+
+let vset t v = Array.copy t.final_vsets.(v)
+let setup_fallbacks t = t.fallbacks
+
+let ring_distance_ok t =
+  let ok = ref true in
+  Array.iteri
+    (fun x vs ->
+      Array.iter
+        (fun y -> if not (Hashtbl.mem t.path_store (pair_key x y)) then ok := false)
+        vs)
+    t.final_vsets;
+  !ok

@@ -1,0 +1,1 @@
+lib/core/address.ml: Array Disco_graph Disco_util Format List String

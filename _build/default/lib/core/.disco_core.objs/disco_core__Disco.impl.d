@@ -1,0 +1,1 @@
+lib/core/disco.ml: Address Array Disco_graph Disco_hash Groups List Nddisco Overlay Resolution Shortcut Vicinity

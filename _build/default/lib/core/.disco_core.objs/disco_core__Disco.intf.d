@@ -1,0 +1,1 @@
+lib/core/disco.mli: Disco_graph Disco_util Groups Name Nddisco Overlay Params Resolution Shortcut

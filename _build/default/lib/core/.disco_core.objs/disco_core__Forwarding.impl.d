@@ -1,0 +1,1 @@
+lib/core/forwarding.ml: Address Array Disco Disco_graph Format Groups Landmark_trees Landmarks List Nddisco Printf Resolution String Vicinity

@@ -1,0 +1,1 @@
+lib/core/forwarding.mli: Disco Format

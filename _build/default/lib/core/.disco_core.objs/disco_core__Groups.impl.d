@@ -1,0 +1,1 @@
+lib/core/groups.ml: Array Disco_hash Fun Hashtbl Int64 List Nddisco Params

@@ -1,0 +1,1 @@
+lib/core/groups.mli: Disco_hash Nddisco

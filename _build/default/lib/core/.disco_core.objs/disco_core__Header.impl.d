@@ -1,0 +1,1 @@
+lib/core/header.ml: Disco Disco_graph Disco_util List Nddisco Shortcut

@@ -1,0 +1,1 @@
+lib/core/landmark_churn.ml: Array Disco_util Params

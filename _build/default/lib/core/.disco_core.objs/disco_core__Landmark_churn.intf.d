@@ -1,0 +1,1 @@
+lib/core/landmark_churn.mli: Disco_util Params

@@ -1,0 +1,1 @@
+lib/core/landmark_trees.ml: Array Disco_graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/landmark_trees.mli: Disco_graph

@@ -1,0 +1,1 @@
+lib/core/landmarks.ml: Array Disco_graph Disco_util Fun List Params

@@ -1,0 +1,1 @@
+lib/core/landmarks.mli: Disco_graph Disco_util Params

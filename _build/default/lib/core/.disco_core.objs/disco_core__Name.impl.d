@@ -1,0 +1,1 @@
+lib/core/name.ml: Array Disco_hash Printf String

@@ -1,0 +1,1 @@
+lib/core/name.mli: Disco_hash

@@ -1,0 +1,1 @@
+lib/core/nddisco.ml: Address Array Disco_graph Disco_hash Landmark_trees Landmarks List Name Params Shortcut Vicinity

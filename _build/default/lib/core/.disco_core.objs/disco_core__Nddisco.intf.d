@@ -1,0 +1,1 @@
+lib/core/nddisco.mli: Address Disco_graph Disco_hash Disco_util Landmark_trees Landmarks Name Params Shortcut Vicinity

@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Array Disco_hash Disco_util Float Groups Hashtbl Int64 List Nddisco Params Queue

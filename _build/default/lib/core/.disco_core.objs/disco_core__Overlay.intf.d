@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Disco_util Groups Nddisco

@@ -1,0 +1,1 @@
+lib/core/resolution.ml: Array Disco_hash Landmark_trees List Nddisco Shortcut Vicinity

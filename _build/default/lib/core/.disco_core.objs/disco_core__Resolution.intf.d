@@ -1,0 +1,1 @@
+lib/core/resolution.mli: Disco_hash Name Nddisco Shortcut

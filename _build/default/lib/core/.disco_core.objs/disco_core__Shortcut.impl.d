@@ -1,0 +1,1 @@
+lib/core/shortcut.ml: Array Disco_graph List

@@ -1,0 +1,1 @@
+lib/core/shortcut.mli: Disco_graph

@@ -1,0 +1,1 @@
+lib/core/tree_address.ml: Array Disco_graph Landmarks List

@@ -1,0 +1,1 @@
+lib/core/tree_address.mli: Disco_graph Landmarks

@@ -1,0 +1,1 @@
+lib/core/vicinity.ml: Array Disco_graph Fun Hashtbl Option

@@ -1,0 +1,1 @@
+lib/core/vicinity.mli: Disco_graph

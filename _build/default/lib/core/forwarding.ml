@@ -1,0 +1,172 @@
+module Graph = Disco_graph.Graph
+
+type step = { at : int; action : string }
+
+type trace = {
+  path : int list;
+  steps : step list;
+  delivered : bool;
+  handshake : int list option;
+}
+
+(* In-flight packet state. [Seek] carries only the destination's flat
+   name (represented by its node id; forwarding code only consults data
+   the current node legitimately stores about that name). [Carry] follows
+   a concrete remaining path. [tried_proxy] stops proxy ping-pong: after
+   one optimistic group-proxy hop the fallback is the resolution DB. *)
+type packet =
+  | Seek of { tried_proxy : bool }
+  | Carry of { rest : int list }
+
+let deliver_check (d : Disco.t) ~src ~dst =
+  match Vicinity.path d.Disco.nd.Nddisco.vicinity dst src with
+  | Some p when src <> dst -> Some (List.rev p)
+  | _ -> None
+
+(* The node's local route to [dst] if it stores one: landmark table or
+   vicinity; mirrors Nddisco.knows but is written from the node's view. *)
+let local_route (d : Disco.t) u dst =
+  let nd = d.Disco.nd in
+  if nd.Nddisco.landmarks.Landmarks.is_landmark.(dst) then
+    Some (Landmark_trees.path_to nd.Nddisco.trees u ~lm:dst)
+  else Vicinity.path nd.Nddisco.vicinity u dst
+
+(* Rewrite at a node that holds [dst]'s address: the route to the
+   destination's landmark from the node's own landmark table, then the
+   explicit label route. *)
+let address_route (d : Disco.t) u dst =
+  let nd = d.Disco.nd in
+  let addr = Nddisco.address nd dst in
+  let lm = addr.Address.landmark in
+  let label_path =
+    Address.decode nd.Nddisco.graph ~landmark:lm ~labels:addr.Address.labels
+      ~hops:(Address.hops addr)
+  in
+  if u = lm then label_path
+  else Landmark_trees.path_to nd.Nddisco.trees u ~lm @ List.tl label_path
+
+let run (d : Disco.t) ~src ~dst ~initial =
+  let nd = d.Disco.nd in
+  let n = Graph.n nd.Nddisco.graph in
+  let steps = ref [] and path = ref [ src ] in
+  let log at action = steps := { at; action } :: !steps in
+  let rec go u packet ttl =
+    if ttl = 0 then (false, List.rev !path, List.rev !steps)
+    else if u = dst then begin
+      log u "deliver";
+      (true, List.rev !path, List.rev !steps)
+    end
+    else begin
+      match packet with
+      | Seek { tried_proxy } -> (
+          match local_route d u dst with
+          | Some (_ :: rest) ->
+              log u "direct route in local tables";
+              go u (Carry { rest }) ttl
+          | Some [] | None ->
+              if Groups.same_group d.Disco.groups u dst then begin
+                log u "group store hit: rewriting with destination address";
+                match address_route d u dst with
+                | _ :: rest -> go u (Carry { rest }) ttl
+                | [] -> (false, List.rev !path, List.rev !steps)
+              end
+              else if not tried_proxy then begin
+                match Disco.classify_first d ~src:u ~dst with
+                | Disco.Via_group_member w -> (
+                    log u (Printf.sprintf "forwarding to group proxy %d" w);
+                    match Vicinity.path nd.Nddisco.vicinity u w with
+                    | Some (_ :: rest) ->
+                        carry_seek u rest (Seek { tried_proxy = true }) ttl
+                    | _ -> (false, List.rev !path, List.rev !steps))
+                | _ -> resolution u ttl
+              end
+              else resolution u ttl)
+      | Carry { rest } -> (
+          (* To-destination shortcutting: the first node holding a direct
+             route diverts along it (its route is a shortest path, so the
+             remaining distance strictly decreases; no loops). *)
+          match local_route d u dst with
+          | Some (_ :: direct) when direct <> rest ->
+              log u "to-destination shortcut";
+              forward u direct ttl
+          | _ -> forward u rest ttl)
+    end
+  (* Forward one hop along [rest], staying in Carry. *)
+  and forward u rest ttl =
+    match rest with
+    | [] -> (false, List.rev !path, List.rev !steps)
+    | next :: rest' ->
+        assert (Graph.edge_weight nd.Nddisco.graph u next <> None);
+        path := next :: !path;
+        go next (Carry { rest = rest' }) (ttl - 1)
+  (* Walk a fixed path but resume [resume] at its end (used for the proxy
+     and resolution legs: the packet still only carries the name).
+     To-destination shortcutting applies here too — any node on the way
+     holding a direct route diverts immediately. *)
+  and carry_seek u rest resume ttl =
+    match local_route d u dst with
+    | Some (_ :: direct) ->
+        if rest <> direct then log u "to-destination shortcut";
+        forward u direct ttl
+    | _ -> (
+        match rest with
+        | [] -> go u resume ttl
+        | next :: rest' ->
+            assert (Graph.edge_weight nd.Nddisco.graph u next <> None);
+            path := next :: !path;
+            if rest' = [] then go next resume (ttl - 1)
+            else carry_seek next rest' resume (ttl - 1))
+  and resolution u ttl =
+    let owner = Resolution.owner d.Disco.resolution nd.Nddisco.names.(dst) in
+    log u (Printf.sprintf "resolution fallback via landmark %d" owner);
+    if u = owner then begin
+      match address_route d u dst with
+      | _ :: rest -> go u (Carry { rest }) ttl
+      | [] -> (false, List.rev !path, List.rev !steps)
+    end
+    else begin
+      match Landmark_trees.path_to nd.Nddisco.trees u ~lm:owner with
+      | _ :: rest ->
+          (* At the owner, the store supplies the address. *)
+          carry_seek u rest (Seek { tried_proxy = true }) ttl
+      | [] -> (false, List.rev !path, List.rev !steps)
+    end
+  in
+  let delivered, p, s = go src initial (4 * n) in
+  {
+    path = p;
+    steps = s;
+    delivered;
+    handshake = (if delivered then deliver_check d ~src ~dst else None);
+  }
+
+let first_packet d ~src ~dst =
+  if src = dst then
+    { path = [ src ]; steps = [ { at = src; action = "local" } ]; delivered = true;
+      handshake = None }
+  else run d ~src ~dst ~initial:(Seek { tried_proxy = false })
+
+let later_packet d ~src ~dst =
+  if src = dst then
+    { path = [ src ]; steps = [ { at = src; action = "local" } ]; delivered = true;
+      handshake = None }
+  else begin
+    (* The source now holds the address (and the handshake path when the
+       destination sent one). *)
+    match deliver_check d ~src ~dst with
+    | Some exact ->
+        (* src in V(dst): the destination revealed the exact path. *)
+        run d ~src ~dst ~initial:(Carry { rest = List.tl exact })
+    | None -> (
+        match address_route d src dst with
+        | _ :: rest -> run d ~src ~dst ~initial:(Carry { rest })
+        | [] -> first_packet d ~src ~dst)
+  end
+
+let pp_trace ppf t =
+  Format.fprintf ppf "@[<v>path: %s%s@,%a@]"
+    (String.concat "-" (List.map string_of_int t.path))
+    (if t.delivered then "" else "  (NOT DELIVERED)")
+    (Format.pp_print_list (fun ppf s ->
+         Format.fprintf ppf "  @[at %d: %s@]" s.at s.action))
+    t.steps

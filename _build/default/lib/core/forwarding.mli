@@ -1,0 +1,51 @@
+(** Data-plane packet forwarding.
+
+    {!Disco.route_first}/{!Disco.route_later} compute routes from the
+    static simulator's global view; this module {e executes} a packet hop
+    by hop using only state the forwarding node actually holds — its
+    vicinity table, its landmark routes, its sloppy-group address store —
+    exactly as a router would. The two must agree (tested), which is the
+    strongest internal check that the protocol is genuinely distributed:
+    no step consults information the current node wouldn't have.
+
+    A first packet toward a flat name goes through phases:
+
+    + at the source: classify — deliver locally, source-route if the
+      address is known, else head for the best group proxy in the
+      vicinity;
+    + at the proxy: look the name up in the group store and rewrite the
+      packet with the destination's address;
+    + toward the landmark: follow the path-vector route to [l_t];
+    + from the landmark: consume the address's forwarding labels bit by
+      bit (the explicit route);
+    + any node on the way that knows a direct route to the destination
+      diverts ("to-destination" shortcutting), and the destination answers
+      with the exact path when the source is in {e its} vicinity (the
+      handshake), which is where later packets' stretch-3 routes come
+      from.
+
+    The trace records every decision for debugging and for the
+    [disco-sim trace] CLI. *)
+
+type step = {
+  at : int;  (** node making the decision *)
+  action : string;  (** human-readable decision, e.g. "rewrite: ..." *)
+}
+
+type trace = {
+  path : int list;  (** nodes traversed, source first *)
+  steps : step list;  (** decisions, in order *)
+  delivered : bool;
+  handshake : int list option;
+      (** the exact path the destination reveals if the source is in its
+          vicinity (None otherwise) *)
+}
+
+val first_packet : Disco.t -> src:int -> dst:int -> trace
+(** Execute a first packet addressed to [dst]'s flat name. *)
+
+val later_packet : Disco.t -> src:int -> dst:int -> trace
+(** Execute a packet once the source holds the destination's address (and
+    the handshake reply, if one was sent). *)
+
+val pp_trace : Format.formatter -> trace -> unit

@@ -1,0 +1,97 @@
+module Hash_space = Disco_hash.Hash_space
+
+type t = {
+  hashes : Hash_space.id array;
+  bits : int array; (* per node *)
+  sorted : int array; (* node ids sorted by hash (unsigned) *)
+}
+
+let make hashes bits =
+  let n = Array.length hashes in
+  let sorted = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Hash_space.compare_unsigned hashes.(a) hashes.(b) in
+      if c <> 0 then c else compare a b)
+    sorted;
+  { hashes; bits; sorted }
+
+let build ~hashes ~bits =
+  if bits < 0 || bits > 30 then invalid_arg "Groups.build: bits";
+  make hashes (Array.make (Array.length hashes) bits)
+
+let of_nddisco (nd : Nddisco.t) =
+  build ~hashes:nd.hashes ~bits:(Params.group_bits ~n:(Nddisco.n nd))
+
+let build_with_estimates ~hashes ~n_estimates =
+  if Array.length hashes <> Array.length n_estimates then
+    invalid_arg "Groups.build_with_estimates: size mismatch";
+  let bits =
+    Array.map (fun est -> Hash_space.group_size_bits ~n_estimate:est) n_estimates
+  in
+  make hashes bits
+
+let bits_of t v = t.bits.(v)
+let group_id t v = Hash_space.prefix_bits t.hashes.(v) ~width:t.bits.(v)
+
+let believes_in_group t v w =
+  (* Does v think w is in G(v)? *)
+  t.bits.(v) = 0
+  || Hash_space.prefix_bits t.hashes.(w) ~width:t.bits.(v) = group_id t v
+
+let believes = believes_in_group
+let same_group t v w = believes_in_group t v w && believes_in_group t w v
+
+(* Range of [sorted] whose hash prefix (width bits) equals [prefix]. *)
+let prefix_range t ~width ~prefix =
+  let n = Array.length t.sorted in
+  if width = 0 then (0, n)
+  else begin
+    let lo_key = Int64.shift_left (Int64.of_int prefix) (64 - width) in
+    let search key =
+      (* first index with hash >= key *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Hash_space.compare_unsigned t.hashes.(t.sorted.(mid)) key < 0 then
+          lo := mid + 1
+        else hi := mid
+      done;
+      !lo
+    in
+    let start = search lo_key in
+    let stop =
+      if prefix + 1 >= 1 lsl width then n
+      else search (Int64.shift_left (Int64.of_int (prefix + 1)) (64 - width))
+    in
+    (start, stop)
+  end
+
+let members t v =
+  let start, stop = prefix_range t ~width:t.bits.(v) ~prefix:(group_id t v) in
+  let out = Array.sub t.sorted start (stop - start) in
+  Array.sort compare out;
+  out
+
+let storers t v =
+  members t v |> Array.to_list
+  |> List.filter (fun w -> believes_in_group t w v)
+  |> Array.of_list
+
+let state_entries t v =
+  (* Addresses stored at v: nodes w that v accepts into its group and that
+     announce towards v (mutual belief), minus v itself. *)
+  let start, stop = prefix_range t ~width:t.bits.(v) ~prefix:(group_id t v) in
+  let count = ref 0 in
+  for i = start to stop - 1 do
+    let w = t.sorted.(i) in
+    if w <> v && believes_in_group t w v then incr count
+  done;
+  !count
+
+let group_count t =
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun v _ -> Hashtbl.replace seen (t.bits.(v), group_id t v) ())
+    t.hashes;
+  Hashtbl.length seen

@@ -1,0 +1,52 @@
+(** Sloppy groups (§4.4).
+
+    Node [v] belongs to the group of nodes sharing the first [k] bits of
+    [h(name)]. Every member of [G(v)] stores v's address, so any source
+    can find {e some} member of the destination's group inside its own
+    vicinity w.h.p. — that's what turns name-dependent routing into
+    flat-name routing with constant stretch.
+
+    The grouping is "sloppy": it depends on each node's estimate of n.
+    With a single global estimate the groups are exact hash-prefix classes;
+    {!build_with_estimates} models per-node estimation error, where nodes
+    may disagree by one bit and only the intersection ("core group") is
+    guaranteed to exchange announcements. *)
+
+type t
+
+val build : hashes:Disco_hash.Hash_space.id array -> bits:int -> t
+
+val of_nddisco : Nddisco.t -> t
+(** Group width from [Params.group_bits] at the true n. *)
+
+val build_with_estimates :
+  hashes:Disco_hash.Hash_space.id array -> n_estimates:int array -> t
+(** Per-node group width from each node's own estimate of n. [knows t v w]
+    then requires both nodes to consider each other group-mates. *)
+
+val bits_of : t -> int -> int
+(** The prefix width node [v] uses. *)
+
+val group_id : t -> int -> int
+(** [v]'s own group: its hash's leading [bits_of v] bits. *)
+
+val believes : t -> int -> int -> bool
+(** [believes t v w]: does [v] consider [w] a member of G(v)? (With exact
+    n estimates this is symmetric; with erroneous estimates it may not
+    be.) *)
+
+val same_group : t -> int -> int -> bool
+(** Mutual membership: [v] and [w] each believe the other is in their
+    group — the condition for address state to flow between them. *)
+
+val members : t -> int -> int array
+(** Nodes that [v] believes are in G(v) (including [v]); ascending ids. *)
+
+val storers : t -> int -> int array
+(** Nodes that hold [v]'s address: those mutually grouped with [v]. *)
+
+val state_entries : t -> int -> int
+(** Address-mapping entries at [v]: |{w : mutually grouped with v}| - 1. *)
+
+val group_count : t -> int
+(** Number of distinct (bits, prefix) groups present. *)

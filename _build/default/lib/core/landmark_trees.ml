@@ -1,0 +1,32 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+
+type t = {
+  graph : Graph.t;
+  cache : (int, Dijkstra.sssp) Hashtbl.t;
+  ws : Dijkstra.workspace;
+}
+
+let create graph =
+  { graph; cache = Hashtbl.create 64; ws = Dijkstra.make_workspace graph }
+
+let tree t lm =
+  match Hashtbl.find_opt t.cache lm with
+  | Some s -> s
+  | None ->
+      let s = Dijkstra.sssp ~ws:t.ws t.graph lm in
+      Hashtbl.add t.cache lm s;
+      s
+
+let dist t ~lm v = (tree t lm).dist.(v)
+
+let path_from t ~lm v =
+  let s = tree t lm in
+  if s.dist.(v) = infinity then invalid_arg "Landmark_trees.path_from: unreachable";
+  Dijkstra.path_of_parents
+    ~parent:(fun u -> s.parent.(u))
+    ~src:lm ~dst:v
+
+let path_to t v ~lm = List.rev (path_from t ~lm v)
+
+let cached_count t = Hashtbl.length t.cache

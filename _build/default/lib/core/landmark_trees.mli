@@ -1,0 +1,23 @@
+(** Shortest-path trees rooted at landmarks.
+
+    Path-vector convergence leaves every node with a shortest path to every
+    landmark; statically that is the landmark's single-source tree. Trees
+    are computed lazily and cached — a stretch experiment touches only the
+    landmarks involved in its sampled routes. *)
+
+type t
+
+val create : Disco_graph.Graph.t -> t
+
+val dist : t -> lm:int -> int -> float
+(** [d(lm, v)] (= [d(v, lm)], the graph is undirected). *)
+
+val path_from : t -> lm:int -> int -> int list
+(** Shortest path [lm; ...; v].
+    @raise Invalid_argument if [v] is unreachable. *)
+
+val path_to : t -> int -> lm:int -> int list
+(** Shortest path [v; ...; lm]: the reverse walk (§6 notes Disco relies on
+    route reversibility). *)
+
+val cached_count : t -> int

@@ -1,0 +1,77 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+
+type t = {
+  ids : int array;
+  is_landmark : bool array;
+  nearest : int array;
+  dist : float array;
+  forest_parent : int array;
+}
+
+let select ~rng ~params ~n =
+  let p = Params.landmark_probability params ~n in
+  let flags = Array.init n (fun _ -> Rng.bernoulli rng p) in
+  if not (Array.exists Fun.id flags) then flags.(Rng.int rng n) <- true;
+  flags
+
+let assign g ~is_landmark =
+  let n = Graph.n g in
+  if Array.length is_landmark <> n then invalid_arg "Landmarks.assign: size";
+  let ids =
+    Array.of_list
+      (List.filter (fun v -> is_landmark.(v)) (List.init n Fun.id))
+  in
+  if Array.length ids = 0 then invalid_arg "Landmarks.assign: no landmarks";
+  let multi = Dijkstra.multi_source g ids in
+  {
+    ids;
+    is_landmark = Array.copy is_landmark;
+    nearest = multi.msource;
+    dist = multi.mdist;
+    forest_parent = multi.mparent;
+  }
+
+let build ~rng ~params g =
+  let is_landmark = select ~rng ~params ~n:(Graph.n g) in
+  assign g ~is_landmark
+
+let of_ids g ids =
+  let is_landmark = Array.make (Graph.n g) false in
+  Array.iter (fun v -> is_landmark.(v) <- true) ids;
+  assign g ~is_landmark
+
+let ensure_coverage g ~k t =
+  let n = Graph.n g in
+  let ws = Dijkstra.make_workspace g in
+  let is_landmark = Array.copy t.is_landmark in
+  let promotions = ref 0 in
+  let changed = ref true in
+  (* Promotions only add landmarks, so coverage is monotone and the sweep
+     reaches a fixpoint in at most n promotions. *)
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if not is_landmark.(v) then begin
+        let run = Dijkstra.k_closest ~ws g v (k + 1) in
+        if not (Array.exists (fun w -> is_landmark.(w)) run.Dijkstra.order) then begin
+          let candidate =
+            if Array.length run.Dijkstra.order > 1 then run.Dijkstra.order.(1) else v
+          in
+          is_landmark.(candidate) <- true;
+          incr promotions;
+          changed := true
+        end
+      end
+    done
+  done;
+  (assign g ~is_landmark, !promotions)
+
+let address_route t v =
+  let rec up u acc =
+    if t.forest_parent.(u) = -1 then u :: acc else up t.forest_parent.(u) (u :: acc)
+  in
+  up v []
+
+let count t = Array.length t.ids

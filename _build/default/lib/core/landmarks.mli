@@ -1,0 +1,46 @@
+(** Landmark selection and assignment (§4.2).
+
+    Landmarks are self-selected: each node independently becomes a landmark
+    with probability [sqrt(log n / n)], giving Θ(sqrt(n log n)) landmarks
+    w.h.p. Every node then learns (via path vector; statically, via a
+    multi-source shortest-path forest) its closest landmark [l_v], the
+    distance [d(v, l_v)], and the explicit route [l_v ~> v] embedded in
+    its address. *)
+
+type t = {
+  ids : int array;  (** landmark node ids, ascending *)
+  is_landmark : bool array;
+  nearest : int array;  (** l_v for every node v *)
+  dist : float array;  (** d(v, l_v) *)
+  forest_parent : int array;
+      (** multi-source shortest-path forest: predecessor of v on the
+          shortest path from l_v; -1 at landmarks themselves *)
+}
+
+val select : rng:Disco_util.Rng.t -> params:Params.t -> n:int -> bool array
+(** Independent coin flips; guarantees at least one landmark by promoting
+    a random node if all coins came up tails (the protocol cannot operate
+    with zero landmarks, and w.h.p. this never triggers). *)
+
+val assign : Disco_graph.Graph.t -> is_landmark:bool array -> t
+(** Compute nearest landmarks and the shortest-path forest. *)
+
+val build :
+  rng:Disco_util.Rng.t -> params:Params.t -> Disco_graph.Graph.t -> t
+
+val of_ids : Disco_graph.Graph.t -> int array -> t
+(** Deterministic landmark set, e.g. for tests or operator-chosen
+    landmarks (§6 discusses non-random selection). *)
+
+val ensure_coverage : Disco_graph.Graph.t -> k:int -> t -> t * int
+(** Make Theorem 1's w.h.p. precondition deterministic: §6 observes the
+    bounds "require only that each node has at least one landmark within
+    its vicinity". For every node whose [k]-vicinity contains no landmark,
+    promote its closest non-landmark to landmark status and reassign;
+    repeat to fixpoint. Returns the repaired set and how many promotions
+    were needed (w.h.p. zero — random selection already covers). *)
+
+val address_route : t -> int -> int list
+(** The node path [l_v; ...; v] along the forest. *)
+
+val count : t -> int

@@ -1,0 +1,109 @@
+module Graph = Disco_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  params : Params.t;
+  names : Name.t array;
+  hashes : Disco_hash.Hash_space.id array;
+  landmarks : Landmarks.t;
+  vicinity : Vicinity.t;
+  trees : Landmark_trees.t;
+  addresses : Address.t array;
+}
+
+let build ?(params = Params.default) ?names ?landmark_ids ?(guarantee_coverage = false)
+    ~rng graph =
+  let n = Graph.n graph in
+  let names = match names with Some a -> a | None -> Name.default_array n in
+  if Array.length names <> n then invalid_arg "Nddisco.build: names size";
+  let landmarks =
+    match landmark_ids with
+    | Some ids -> Landmarks.of_ids graph ids
+    | None -> Landmarks.build ~rng ~params graph
+  in
+  let k = Params.vicinity_size params ~n in
+  let landmarks =
+    if guarantee_coverage then fst (Landmarks.ensure_coverage graph ~k landmarks)
+    else landmarks
+  in
+  let vicinity = Vicinity.create graph ~k in
+  let trees = Landmark_trees.create graph in
+  let addresses =
+    Array.init n (fun v -> Address.make graph ~route:(Landmarks.address_route landmarks v))
+  in
+  {
+    graph;
+    params;
+    names;
+    hashes = Name.hash_array names;
+    landmarks;
+    vicinity;
+    trees;
+    addresses;
+  }
+
+let n t = Graph.n t.graph
+let address t v = t.addresses.(v)
+
+let knows t u x =
+  if u = x then Some [ u ]
+  else if t.landmarks.is_landmark.(x) then
+    Some (Landmark_trees.path_to t.trees u ~lm:x)
+  else Vicinity.path t.vicinity u x
+
+let raw_route t ~src ~dst =
+  if src = dst then [ src ]
+  else if t.landmarks.is_landmark.(dst) then
+    Landmark_trees.path_to t.trees src ~lm:dst
+  else begin
+    match Vicinity.path t.vicinity src dst with
+    | Some p -> p
+    | None ->
+        let lm = (address t dst).landmark in
+        let to_landmark = Landmark_trees.path_to t.trees src ~lm in
+        let from_landmark = Array.to_list (address t dst).route in
+        (* Both segments contain the landmark; drop one copy. *)
+        to_landmark @ List.tl from_landmark
+  end
+
+let shortcut_route t heuristic ~src ~dst =
+  let fwd = raw_route t ~src ~dst in
+  match fwd with
+  | [ _ ] | [ _; _ ] -> fwd (* nothing to shorten *)
+  | _ ->
+      let rev =
+        if Shortcut.uses_reverse heuristic then Some (raw_route t ~src:dst ~dst:src)
+        else None
+      in
+      Shortcut.apply ~graph:t.graph ~knows:(knows t) heuristic ~fwd ~rev
+
+let route_first ?(heuristic = Shortcut.No_path_knowledge) t ~src ~dst =
+  shortcut_route t heuristic ~src ~dst
+
+let route_later ?(heuristic = Shortcut.No_path_knowledge) t ~src ~dst =
+  (* Handshake: if src is in V(dst), dst reveals the exact shortest path
+     (the reverse of its vicinity path to src). *)
+  match Vicinity.path t.vicinity dst src with
+  | Some p when src <> dst -> List.rev p
+  | _ -> shortcut_route t heuristic ~src ~dst
+
+type state_detail = {
+  vicinity_entries : int;
+  landmark_entries : int;
+  label_mappings : int;
+  resolution_entries : int;
+}
+
+let state_entries ?(resolution_entries = 0) t v =
+  let vicinity_entries = Vicinity.k t.vicinity in
+  let landmark_entries = Landmarks.count t.landmarks in
+  (* Forwarding-label mappings: one per neighbor that actually carries a
+     shortest path toward a landmark or vicinity member (Theorem 2). We
+     bound it by degree and by the routes available. *)
+  let label_mappings =
+    min (Graph.degree t.graph v) (vicinity_entries + landmark_entries)
+  in
+  { vicinity_entries; landmark_entries; label_mappings; resolution_entries }
+
+let total_entries d =
+  d.vicinity_entries + d.landmark_entries + d.label_mappings + d.resolution_entries

@@ -1,0 +1,192 @@
+module Hash_space = Disco_hash.Hash_space
+module Rng = Disco_util.Rng
+
+type t = {
+  nd : Nddisco.t;
+  groups : Groups.t;
+  neighbor_sets : int array array; (* per node: succ/pred/fingers, both ways *)
+  fingers_out : int array array;
+}
+
+let u64_to_float h =
+  if Int64.compare h 0L >= 0 then Int64.to_float h
+  else Int64.to_float h +. 18446744073709551616.0
+
+(* Members of v's group, sorted by hash. *)
+let group_by_hash (nd : Nddisco.t) groups v =
+  let ms = Groups.members groups v in
+  Array.sort
+    (fun a b ->
+      let c = Hash_space.compare_unsigned nd.hashes.(a) nd.hashes.(b) in
+      if c <> 0 then c else compare a b)
+    ms;
+  ms
+
+let build ~rng ?fingers (nd : Nddisco.t) groups =
+  let fingers =
+    match fingers with Some f -> f | None -> nd.params.Params.fingers
+  in
+  let n = Nddisco.n nd in
+  let links = Array.make n [] in
+  let add_link a b =
+    if a <> b then begin
+      links.(a) <- b :: links.(a);
+      links.(b) <- a :: links.(b)
+    end
+  in
+  (* Successor/predecessor links in hash order within each group: linking
+     each group's sorted chain gives exactly the in-group portion of the
+     global circular ordering (groups are contiguous hash ranges). *)
+  let chains = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let key = (Groups.bits_of groups v, Groups.group_id groups v) in
+    if not (Hashtbl.mem chains key) then begin
+      Hashtbl.add chains key ();
+      let ms = group_by_hash nd groups v in
+      for i = 0 to Array.length ms - 2 do
+        add_link ms.(i) ms.(i + 1)
+      done
+    end
+  done;
+  (* Fingers: log-uniform hash-distance draws within the group (Symphony). *)
+  let fingers_of = Array.make n [] in
+  for v = 0 to n - 1 do
+    let ms = group_by_hash nd groups v in
+    let size = Array.length ms in
+    if size > 3 then begin
+      let hv = u64_to_float nd.hashes.(v) in
+      let lo = u64_to_float nd.hashes.(ms.(0)) in
+      let hi = u64_to_float nd.hashes.(ms.(size - 1)) in
+      let picked = ref 0 and attempts = ref 0 in
+      while !picked < fingers && !attempts < 16 * fingers do
+        incr attempts;
+        let left_room = hv -. lo and right_room = hi -. hv in
+        let side_right =
+          if left_room <= 1.0 then true
+          else if right_room <= 1.0 then false
+          else Rng.bool rng
+        in
+        let room = if side_right then right_room else left_room in
+        if room > 1.0 then begin
+          let mag = exp (Rng.float rng (log room)) in
+          let target = if side_right then hv +. mag else hv -. mag in
+          (* Closest member hash to the target (the resolution-database
+             query in the real protocol). *)
+          let best = ref (-1) and best_d = ref infinity in
+          Array.iter
+            (fun w ->
+              if w <> v then begin
+                let d = Float.abs (u64_to_float nd.hashes.(w) -. target) in
+                if d < !best_d then begin
+                  best_d := d;
+                  best := w
+                end
+              end)
+            ms;
+          if !best >= 0 && not (List.mem !best links.(v)) then begin
+            add_link v !best;
+            fingers_of.(v) <- !best :: fingers_of.(v);
+            incr picked
+          end
+        end
+      done
+    end
+  done;
+  let neighbor_sets =
+    Array.map
+      (fun l ->
+        let arr = Array.of_list (List.sort_uniq compare l) in
+        arr)
+      links
+  in
+  { nd; groups; neighbor_sets; fingers_out = Array.map Array.of_list fingers_of }
+
+let neighbors t v = t.neighbor_sets.(v)
+let out_fingers t v = t.fingers_out.(v)
+let degree t v = Array.length t.neighbor_sets.(v)
+
+let mean_degree t =
+  let n = Array.length t.neighbor_sets in
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.neighbor_sets in
+  float_of_int total /. float_of_int n
+
+type dissemination = {
+  messages : int;
+  mean_hops : float;
+  max_hops : int;
+  reached : int;
+  expected : int;
+}
+
+(* Flood one announcement from [src] under the directional rule; calls
+   [on_reach w hops] on each first receipt and [on_send ()] per message. *)
+let flood t ~src ~on_reach ~on_send =
+  let nd = t.nd in
+  let hops_of = Hashtbl.create 64 in
+  Hashtbl.replace hops_of src 0;
+  let q = Queue.create () in
+  (* direction: +1 = announcements moving toward higher hashes. *)
+  let forward u dir hops =
+    Array.iter
+      (fun x ->
+        if Groups.believes t.groups u x && Groups.believes t.groups x u then begin
+          let cmp = Hash_space.compare_unsigned nd.hashes.(x) nd.hashes.(u) in
+          if (dir > 0 && cmp > 0) || (dir < 0 && cmp < 0) then begin
+            on_send ();
+            if not (Hashtbl.mem hops_of x) then begin
+              Hashtbl.replace hops_of x (hops + 1);
+              on_reach x (hops + 1);
+              Queue.push (x, dir, hops + 1) q
+            end
+          end
+        end)
+      t.neighbor_sets.(u)
+  in
+  (* Origin seeds both directions. *)
+  forward src 1 0;
+  forward src (-1) 0;
+  while not (Queue.is_empty q) do
+    let u, dir, hops = Queue.pop q in
+    forward u dir hops
+  done;
+  hops_of
+
+let announcement_reaches t ~src ~dst =
+  let reached = ref false in
+  let hops_of =
+    flood t ~src
+      ~on_reach:(fun w _ -> if w = dst then reached := true)
+      ~on_send:(fun () -> ())
+  in
+  ignore hops_of;
+  !reached
+
+let disseminate t =
+  let n = Array.length t.neighbor_sets in
+  let messages = ref 0 in
+  let hop_sum = ref 0 and hop_count = ref 0 and max_hops = ref 0 in
+  let reached = ref 0 and expected = ref 0 in
+  for src = 0 to n - 1 do
+    let storers = Groups.storers t.groups src in
+    expected := !expected + max 0 (Array.length storers - 1);
+    let hops_of =
+      flood t ~src
+        ~on_reach:(fun _ hops ->
+          hop_sum := !hop_sum + hops;
+          incr hop_count;
+          if hops > !max_hops then max_hops := hops)
+        ~on_send:(fun () -> incr messages)
+    in
+    Array.iter
+      (fun w -> if w <> src && Hashtbl.mem hops_of w then incr reached)
+      storers
+  done;
+  {
+    messages = !messages;
+    mean_hops =
+      (if !hop_count = 0 then 0.0
+       else float_of_int !hop_sum /. float_of_int !hop_count);
+    max_hops = !max_hops;
+    reached = !reached;
+    expected = !expected;
+  }

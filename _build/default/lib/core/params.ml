@@ -1,0 +1,30 @@
+type t = {
+  landmark_factor : float;
+  vicinity_factor : float;
+  fingers : int;
+  resolution_replicas : int;
+}
+
+let default =
+  { landmark_factor = 1.0; vicinity_factor = 1.0; fingers = 1; resolution_replicas = 1 }
+
+let log2 x = log x /. log 2.0
+
+let landmark_probability t ~n =
+  if n <= 1 then 1.0
+  else begin
+    let p = t.landmark_factor *. sqrt (log2 (float_of_int n) /. float_of_int n) in
+    min 1.0 p
+  end
+
+let vicinity_size t ~n =
+  if n <= 1 then 0
+  else begin
+    let k =
+      int_of_float
+        (ceil (t.vicinity_factor *. sqrt (float_of_int n *. log2 (float_of_int n))))
+    in
+    min (n - 1) (max 1 k)
+  end
+
+let group_bits ~n = Disco_hash.Hash_space.group_size_bits ~n_estimate:n

@@ -1,0 +1,24 @@
+(** Protocol parameters derived from (an estimate of) the network size.
+
+    All of Disco's state bounds flow from three quantities (§4.2, §4.4):
+    the landmark sampling probability, the vicinity size, and the
+    sloppy-group prefix width. Multipliers are exposed so experiments can
+    ablate the constants; defaults follow the paper. *)
+
+type t = {
+  landmark_factor : float;
+      (** landmark probability = [landmark_factor * sqrt (log2 n / n)] *)
+  vicinity_factor : float;
+      (** vicinity size = [ceil (vicinity_factor * sqrt (n * log2 n))] *)
+  fingers : int;  (** outgoing overlay fingers per node (paper tests 1, 3) *)
+  resolution_replicas : int;
+      (** virtual points per landmark in the consistent-hash resolution
+          database (1 = the paper's "simplest form") *)
+}
+
+val default : t
+
+val landmark_probability : t -> n:int -> float
+val vicinity_size : t -> n:int -> int
+val group_bits : n:int -> int
+(** Re-export of {!Disco_hash.Hash_space.group_size_bits}. *)

@@ -1,0 +1,93 @@
+module Hash_space = Disco_hash.Hash_space
+module Consistent_hash = Disco_hash.Consistent_hash
+
+type t = {
+  nd : Nddisco.t;
+  ring : Consistent_hash.t;
+  sorted_hashes : (Hash_space.id * int) array;  (* every node, by hash *)
+  mutable owner_cache : int array option;
+}
+
+let build (nd : Nddisco.t) =
+  let ring =
+    Consistent_hash.create
+      ~replicas:nd.params.resolution_replicas
+      ~owners:nd.landmarks.ids
+      ~owner_name:(fun lm -> nd.names.(lm))
+      ()
+  in
+  let sorted_hashes =
+    Array.mapi (fun v h -> (h, v)) nd.hashes
+  in
+  Array.sort
+    (fun (a, va) (b, vb) ->
+      let c = Hash_space.compare_unsigned a b in
+      if c <> 0 then c else compare va vb)
+    sorted_hashes;
+  { nd; ring; sorted_hashes; owner_cache = None }
+
+let owner t name = Consistent_hash.owner_of_name t.ring name
+
+let owners_by_node t =
+  match t.owner_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.map (fun h -> Consistent_hash.owner_of t.ring h) t.nd.hashes in
+      t.owner_cache <- Some a;
+      a
+
+let entries_per_landmark t =
+  Consistent_hash.load_counts t.ring ~keys:t.nd.hashes
+
+let entries_at t v =
+  if not t.nd.landmarks.is_landmark.(v) then 0
+  else begin
+    let owners = owners_by_node t in
+    let count = ref 0 in
+    Array.iter (fun o -> if o = v then incr count) owners;
+    !count
+  end
+
+let resolve_then_route ?(heuristic = Shortcut.No_path_knowledge) t ~src ~dst =
+  let nd = t.nd in
+  if src = dst then [ src ]
+  else begin
+    let raw from_node to_node =
+      let lm_owner = owner t nd.names.(to_node) in
+      if lm_owner = from_node || nd.landmarks.is_landmark.(to_node) then
+        Nddisco.raw_route nd ~src:from_node ~dst:to_node
+      else begin
+        match Vicinity.path nd.vicinity from_node to_node with
+        | Some p -> p (* destination nearby: no resolution trip needed *)
+        | None ->
+            let to_owner =
+              Landmark_trees.path_to nd.trees from_node ~lm:lm_owner
+            in
+            let onward = Nddisco.raw_route nd ~src:lm_owner ~dst:to_node in
+            to_owner @ List.tl onward
+      end
+    in
+    let fwd = raw src dst in
+    let rev =
+      if Shortcut.uses_reverse heuristic then Some (raw dst src) else None
+    in
+    Shortcut.apply ~graph:nd.graph ~knows:(Nddisco.knows nd) heuristic ~fwd ~rev
+  end
+
+let find_closest_hash t key =
+  let arr = t.sorted_hashes in
+  let n = Array.length arr in
+  (* Successor index by binary search, then compare with predecessor by
+     circular distance. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Hash_space.compare_unsigned (fst arr.(mid)) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  let succ_idx = if !lo = n then 0 else !lo in
+  let pred_idx = (succ_idx + n - 1) mod n in
+  let d_succ = Hash_space.ring_distance key (fst arr.(succ_idx)) in
+  let d_pred = Hash_space.ring_distance key (fst arr.(pred_idx)) in
+  if Hash_space.compare_unsigned d_pred d_succ < 0 then snd arr.(pred_idx)
+  else snd arr.(succ_idx)

@@ -1,0 +1,118 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+
+type heuristic =
+  | No_shortcut
+  | To_destination
+  | Shorter_fwd_rev
+  | No_path_knowledge
+  | Up_down_stream
+  | Path_knowledge
+
+let all =
+  [
+    No_shortcut;
+    To_destination;
+    Shorter_fwd_rev;
+    No_path_knowledge;
+    Up_down_stream;
+    Path_knowledge;
+  ]
+
+let name = function
+  | No_shortcut -> "no-shortcutting"
+  | To_destination -> "to-destination"
+  | Shorter_fwd_rev -> "shorter{fwd,rev}"
+  | No_path_knowledge -> "no-path-knowledge"
+  | Up_down_stream -> "up-down-stream"
+  | Path_knowledge -> "path-knowledge"
+
+let uses_reverse = function
+  | Shorter_fwd_rev | No_path_knowledge | Path_knowledge -> true
+  | No_shortcut | To_destination | Up_down_stream -> false
+
+type knowledge = int -> int -> int list option
+
+let to_destination ~graph ~knows ~dst route =
+  ignore graph;
+  let rec walk prefix_rev = function
+    | [] -> List.rev prefix_rev
+    | u :: rest -> (
+        if u = dst then List.rev (u :: prefix_rev)
+        else
+          match knows u dst with
+          | Some direct -> List.rev_append prefix_rev direct
+          | None -> walk (u :: prefix_rev) rest)
+  in
+  walk [] route
+
+(* Length of a consecutive segment of a route, by edge weights. *)
+let segment_length graph route_arr i j =
+  let len = ref 0.0 in
+  for idx = i to j - 1 do
+    match Graph.edge_weight graph route_arr.(idx) route_arr.(idx + 1) with
+    | Some w -> len := !len +. w
+    | None -> invalid_arg "Shortcut: route is not a path"
+  done;
+  !len
+
+let up_down_stream ~graph ~knows route =
+  (* The packet visits nodes in order; each visited node may rewrite the
+     remaining route (splice a known shorter path to the farthest
+     improvable downstream node), then forwards one hop. *)
+  let rec advance visited_rev current =
+    match current with
+    | [] -> List.rev visited_rev
+    | [ last ] -> List.rev (last :: visited_rev)
+    | u :: _ ->
+        let arr = Array.of_list current in
+        let len = Array.length arr in
+        let best = ref None in
+        let j = ref (len - 1) in
+        while !best = None && !j >= 1 do
+          (match knows u arr.(!j) with
+          | Some direct ->
+              let direct_len = Dijkstra.path_length graph direct in
+              if direct_len < segment_length graph arr 0 !j -. 1e-12 then
+                best := Some (!j, direct)
+          | None -> ());
+          decr j
+        done;
+        let current' =
+          match !best with
+          | Some (j, direct) ->
+              let tail = Array.to_list (Array.sub arr (j + 1) (len - j - 1)) in
+              direct @ tail
+          | None -> current
+        in
+        (* current' still starts at u; consume it and move on. *)
+        advance (u :: visited_rev) (List.tl current')
+  in
+  advance [] route
+
+let route_length graph route = Dijkstra.path_length graph route
+
+let apply ~graph ~knows heuristic ~fwd ~rev =
+  let dst = List.nth fwd (List.length fwd - 1) in
+  let src = List.hd fwd in
+  let forward_variant () =
+    match heuristic with
+    | No_shortcut | Shorter_fwd_rev -> fwd
+    | To_destination | No_path_knowledge -> to_destination ~graph ~knows ~dst fwd
+    | Up_down_stream | Path_knowledge -> up_down_stream ~graph ~knows fwd
+  in
+  let reverse_variant () =
+    match rev with
+    | None -> None
+    | Some r -> (
+        match heuristic with
+        | No_shortcut | To_destination | Up_down_stream -> None
+        | Shorter_fwd_rev -> Some (List.rev r)
+        | No_path_knowledge ->
+            Some (List.rev (to_destination ~graph ~knows ~dst:src r))
+        | Path_knowledge -> Some (List.rev (up_down_stream ~graph ~knows r)))
+  in
+  let f = forward_variant () in
+  match reverse_variant () with
+  | None -> f
+  | Some r -> if route_length graph r < route_length graph f then r else f

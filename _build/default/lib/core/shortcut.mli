@@ -1,0 +1,54 @@
+(** Shortcutting heuristics (§4.2 "Shortcutting heuristics", Fig 6).
+
+    A route produced by compact routing (s ~> l_t ~> t) can be shortened in
+    flight by nodes that happen to know better paths. The paper evaluates
+    six strategies; all results in its figures use {!No_path_knowledge}
+    unless stated. The heuristics compose two primitives:
+
+    - {e to-destination}: the first node on the route that knows a direct
+      path to the destination diverts along it (S4's behaviour);
+    - {e up-down-stream}: every node inspects the remaining route and
+      splices in a shorter vicinity path to {e any} downstream node (this
+      requires the packet to carry the route's global identifiers);
+
+    optionally combined with trying the reverse-direction route and keeping
+    the shorter of the two. *)
+
+type heuristic =
+  | No_shortcut
+  | To_destination  (** divert at the first node knowing the destination *)
+  | Shorter_fwd_rev  (** min(forward route, reverse route), no diversion *)
+  | No_path_knowledge  (** to-destination + shorter-of-fwd/rev (default) *)
+  | Up_down_stream  (** splice to any downstream node, forward route only *)
+  | Path_knowledge  (** up-down-stream + shorter-of-fwd/rev *)
+
+val all : heuristic list
+val name : heuristic -> string
+val uses_reverse : heuristic -> bool
+
+type knowledge = int -> int -> int list option
+(** [knows u x] is the direct path [u; ...; x] if node [u]'s local state
+    (vicinity or cluster) holds a route to [x]. *)
+
+val to_destination :
+  graph:Disco_graph.Graph.t -> knows:knowledge -> dst:int -> int list -> int list
+(** Apply the to-destination primitive to a route ending at [dst]. *)
+
+val up_down_stream :
+  graph:Disco_graph.Graph.t -> knows:knowledge -> int list -> int list
+(** One pass of downstream splicing: nodes are visited in order; each may
+    replace the remainder of the route if it knows a strictly shorter path
+    to a downstream node (farthest such improvement wins). *)
+
+val apply :
+  graph:Disco_graph.Graph.t ->
+  knows:knowledge ->
+  heuristic ->
+  fwd:int list ->
+  rev:int list option ->
+  int list
+(** [apply ... ~fwd ~rev] runs a heuristic over the forward route
+    [s; ...; t] and, when the heuristic calls for it, the independently
+    constructed reverse route [t; ...; s] ([rev] is ignored otherwise and
+    may be [None], in which case only the forward route is used). The
+    result always runs s -> t. *)

@@ -1,0 +1,1 @@
+lib/dynamic/msg.ml: Disco_hash Printf

@@ -1,0 +1,1 @@
+lib/dynamic/msg.mli: Disco_hash

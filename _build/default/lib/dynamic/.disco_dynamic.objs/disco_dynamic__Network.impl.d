@@ -1,0 +1,1 @@
+lib/dynamic/network.ml: Array Disco_core Disco_graph Disco_hash Disco_sim Disco_util Fun Hashtbl List Msg

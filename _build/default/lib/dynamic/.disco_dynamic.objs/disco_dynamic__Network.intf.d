@@ -1,0 +1,1 @@
+lib/dynamic/network.mli: Disco_core Disco_graph Disco_util Msg

@@ -1,0 +1,29 @@
+type address = { lm : int; lm_path : int list }
+
+type t =
+  | Hello
+  | Route_ann of {
+      dest : int;
+      dest_is_landmark : bool;
+      dist : float;
+      path : int list;
+    }
+  | Resolve_insert of {
+      origin : int;
+      origin_name : string;
+      addr : address;
+      target_lm : int;
+    }
+  | Addr_gossip of {
+      origin : int;
+      origin_hash : Disco_hash.Hash_space.id;
+      addr : address;
+      sender_hash : Disco_hash.Hash_space.id;
+    }
+
+let describe = function
+  | Hello -> "hello"
+  | Route_ann { dest; dist; _ } -> Printf.sprintf "route(%d, %.3f)" dest dist
+  | Resolve_insert { origin; target_lm; _ } ->
+      Printf.sprintf "insert(%d -> lm %d)" origin target_lm
+  | Addr_gossip { origin; _ } -> Printf.sprintf "gossip(%d)" origin

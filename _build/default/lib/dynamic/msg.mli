@@ -1,0 +1,37 @@
+(** Wire messages of the dynamic Disco protocol.
+
+    Everything a live deployment would exchange: periodic hellos (liveness),
+    path-vector route announcements (landmarks and vicinities, §4.2),
+    soft-state address inserts to the resolution database (§4.3), and the
+    directional address gossip of the dissemination overlay (§4.4).
+
+    Addresses travel as (landmark, explicit node path); the byte-level
+    label encoding is exercised by {!Disco_core.Address} and omitted here
+    to keep the simulation readable. *)
+
+type address = { lm : int; lm_path : int list  (** landmark .. owner *) }
+
+type t =
+  | Hello  (** neighbor liveness beacon *)
+  | Route_ann of {
+      dest : int;
+      dest_is_landmark : bool;
+      dist : float;
+      path : int list;  (** sender .. dest *)
+    }
+  | Resolve_insert of {
+      origin : int;
+      origin_name : string;
+      addr : address;
+      target_lm : int;  (** owner landmark the insert is routed toward *)
+    }
+  | Addr_gossip of {
+      origin : int;
+      origin_hash : Disco_hash.Hash_space.id;
+      addr : address;
+      sender_hash : Disco_hash.Hash_space.id;
+          (** directional rule: forward only away from the sender in hash
+              space *)
+    }
+
+val describe : t -> string

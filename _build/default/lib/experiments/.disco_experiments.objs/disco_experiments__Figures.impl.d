@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Disco_baselines Disco_core Disco_dynamic Disco_graph Disco_pathvector Disco_synopsis Disco_util Float Fun Hashtbl List Messaging Metrics Option Printf Report Testbed

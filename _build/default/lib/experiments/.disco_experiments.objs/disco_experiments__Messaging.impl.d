@@ -1,0 +1,1 @@
+lib/experiments/messaging.ml: Array Disco_core Disco_graph Disco_pathvector Disco_util List

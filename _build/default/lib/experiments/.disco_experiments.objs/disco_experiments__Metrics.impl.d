@@ -1,0 +1,1 @@
+lib/experiments/metrics.ml: Array Disco_baselines Disco_core Disco_graph Disco_util Hashtbl List Testbed

@@ -1,0 +1,1 @@
+lib/experiments/metrics.mli: Disco_core Disco_graph Testbed

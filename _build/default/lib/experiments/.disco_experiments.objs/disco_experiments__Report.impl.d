@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Disco_util List Printf String

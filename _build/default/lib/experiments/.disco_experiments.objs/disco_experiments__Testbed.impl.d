@@ -1,0 +1,1 @@
+lib/experiments/testbed.ml: Disco_baselines Disco_core Disco_graph Disco_util

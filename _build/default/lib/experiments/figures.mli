@@ -1,0 +1,19 @@
+(** One runner per table/figure of the paper's evaluation (§5).
+
+    Each runner prints its figure's series/rows to stdout (see
+    {!Report}); EXPERIMENTS.md records the paper-vs-measured comparison.
+    [scale] trades fidelity for runtime: [Small] shrinks topologies so the
+    whole suite finishes in minutes; [Paper] uses the paper's sizes where
+    feasible (the two CAIDA maps are replaced by synthetics at 16k nodes —
+    see DESIGN.md §2). *)
+
+type scale = Small | Paper
+
+val scale_of_string : string -> scale option
+val all_ids : string list
+
+val run : ?seed:int -> scale -> string -> unit
+(** [run scale id] executes one experiment; raises [Invalid_argument] on
+    an unknown id. *)
+
+val run_all : ?seed:int -> scale -> unit

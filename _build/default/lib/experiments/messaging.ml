@@ -1,0 +1,132 @@
+module Graph = Disco_graph.Graph
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+module Core = Disco_core
+module Pathvector = Disco_pathvector.Pathvector
+
+type point = {
+  n : int;
+  pathvector : float;
+  pv_measured : bool;
+  s4 : float;
+  nddisco : float;
+  disco_1f : float;
+  disco_3f : float;
+}
+
+let per_node (r : Pathvector.result) n =
+  float_of_int r.Pathvector.total_messages /. float_of_int n
+
+let hops path = max 0 (List.length path - 1)
+
+(* Disco's flat-name additions on top of NDDisco's path-vector cost. *)
+let disco_extra_messages ~rng nd ~fingers =
+  let n = Core.Nddisco.n nd in
+  let resolution = Core.Resolution.build nd in
+  let owners = Core.Resolution.owners_by_node resolution in
+  let groups = Core.Groups.of_nddisco nd in
+  let overlay = Core.Overlay.build ~rng ~fingers nd groups in
+  let trees = nd.Core.Nddisco.trees in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    (* Address insert travels v ~> owner landmark. *)
+    let insert_hops = hops (Core.Landmark_trees.path_to trees v ~lm:owners.(v)) in
+    total := !total + insert_hops;
+    (* Each finger bootstrap: query to the owner of the drawn key (about
+       the finger's own hash) and a response back. *)
+    Array.iter
+      (fun w ->
+        let owner = owners.(w) in
+        let q = hops (Core.Landmark_trees.path_to trees v ~lm:owner) in
+        total := !total + (2 * q))
+      (Core.Overlay.out_fingers overlay v)
+  done;
+  let d = Core.Overlay.disseminate overlay in
+  !total + d.Core.Overlay.messages
+
+let sweep ?(seed = 42) ?(pv_cap = 512) ~sizes () =
+  let points =
+    List.map
+      (fun n ->
+        let rng = Rng.create ((seed * 7919) + n) in
+        let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
+        let params = Core.Params.default in
+        let nd = Core.Nddisco.build ~params ~rng graph in
+        let landmarks = nd.Core.Nddisco.landmarks in
+        let flags = landmarks.Core.Landmarks.is_landmark in
+        let k = Core.Params.vicinity_size params ~n in
+        let pv_measured = n <= pv_cap in
+        let pv =
+          if pv_measured then
+            per_node (Pathvector.run ~graph ~mode:Pathvector.Full) n
+          else 0.0 (* filled by extrapolation below *)
+        in
+        let nddisco_msgs =
+          per_node
+            (Pathvector.run ~graph
+               ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }))
+            n
+        in
+        let s4_msgs =
+          per_node
+            (Pathvector.run ~graph
+               ~mode:
+                 (Pathvector.Landmarks_and_radius
+                    { landmarks = flags; radius = landmarks.Core.Landmarks.dist }))
+            n
+        in
+        let extra f =
+          float_of_int (disco_extra_messages ~rng nd ~fingers:f) /. float_of_int n
+        in
+        {
+          n;
+          pathvector = pv;
+          pv_measured;
+          s4 = s4_msgs;
+          nddisco = nddisco_msgs;
+          disco_1f = nddisco_msgs +. extra 1;
+          disco_3f = nddisco_msgs +. extra 3;
+        })
+      sizes
+  in
+  (* Linear extrapolation of path vector beyond pv_cap, as in Fig 8:
+     messages/node grow linearly in n, so scale the largest measured
+     point. *)
+  let measured = List.filter (fun p -> p.pv_measured) points in
+  match List.rev measured with
+  | [] -> points
+  | last :: _ ->
+      let slope = last.pathvector /. float_of_int last.n in
+      List.map
+        (fun p ->
+          if p.pv_measured then p
+          else { p with pathvector = slope *. float_of_int p.n })
+        points
+
+type overlay_stats = {
+  fingers : int;
+  mean_announce_hops : float;
+  max_announce_hops : int;
+  dissemination_messages : int;
+  coverage : float;
+}
+
+let overlay_comparison ?(seed = 42) ~n () =
+  let rng = Rng.create ((seed * 104729) + n) in
+  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
+  let nd = Core.Nddisco.build ~rng graph in
+  let groups = Core.Groups.of_nddisco nd in
+  List.map
+    (fun fingers ->
+      let overlay = Core.Overlay.build ~rng ~fingers nd groups in
+      let d = Core.Overlay.disseminate overlay in
+      {
+        fingers;
+        mean_announce_hops = d.Core.Overlay.mean_hops;
+        max_announce_hops = d.Core.Overlay.max_hops;
+        dissemination_messages = d.Core.Overlay.messages;
+        coverage =
+          (if d.Core.Overlay.expected = 0 then 1.0
+           else float_of_int d.Core.Overlay.reached /. float_of_int d.Core.Overlay.expected);
+      })
+    [ 1; 3 ]

@@ -1,0 +1,36 @@
+(** Control-messaging measurement (Fig 8 and the §5 overlay numbers).
+
+    Runs the dynamic path-vector protocol (with each scheme's acceptance
+    policy) on the event simulator over G(n,m) graphs of increasing size
+    and counts messages per node until convergence. Disco's additional
+    flat-name machinery is accounted on top of NDDisco's path-vector cost:
+    resolution-database inserts, finger bootstrap queries, and the overlay
+    dissemination of every node's address (each overlay message counts
+    once, like every other protocol message). *)
+
+type point = {
+  n : int;
+  pathvector : float;  (** messages/node; extrapolated when [pv_measured] is false *)
+  pv_measured : bool;
+  s4 : float;
+  nddisco : float;
+  disco_1f : float;
+  disco_3f : float;
+}
+
+val sweep : ?seed:int -> ?pv_cap:int -> sizes:int list -> unit -> point list
+(** [pv_cap] bounds the sizes on which full path vector actually runs
+    (default 512, extrapolating linearly above, as the paper does beyond
+    512 nodes). *)
+
+type overlay_stats = {
+  fingers : int;
+  mean_announce_hops : float;
+  max_announce_hops : int;
+  dissemination_messages : int;
+  coverage : float;  (** reached / expected (origin, member) pairs *)
+}
+
+val overlay_comparison : ?seed:int -> n:int -> unit -> overlay_stats list
+(** The §5 in-text experiment: announcement travel distance and message
+    cost for 1 vs 3 fingers on a G(n,m) graph. *)

@@ -1,0 +1,223 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Core = Disco_core
+module S4 = Disco_baselines.S4
+module Vrr = Disco_baselines.Vrr
+
+type state_result = {
+  disco : float array;
+  nddisco : float array;
+  s4 : float array;
+  pathvector : float array;
+  vrr : float array option;
+}
+
+let state ?(with_vrr = false) (tb : Testbed.t) =
+  let n = Graph.n tb.graph in
+  let disco_entries =
+    Array.init n (fun v ->
+        float_of_int (Core.Disco.total_entries (Core.Disco.state_entries tb.disco v)))
+  in
+  let nddisco_entries =
+    Array.init n (fun v ->
+        let resolution_entries =
+          Core.Resolution.entries_at tb.disco.Core.Disco.resolution v
+        in
+        float_of_int
+          (Core.Nddisco.total_entries
+             (Core.Nddisco.state_entries ~resolution_entries (Testbed.nd tb) v)))
+  in
+  let cluster_sizes = S4.cluster_sizes tb.s4 in
+  let resolution_loads = S4.resolution_loads tb.s4 in
+  let s4_entries =
+    Array.init n (fun v ->
+        float_of_int (S4.state_entries tb.s4 ~cluster_sizes ~resolution_loads v))
+  in
+  let pv = Array.make n (float_of_int (n - 1)) in
+  let vrr_entries =
+    if with_vrr then
+      Some (Array.map float_of_int (Vrr.state_entries (Testbed.vrr tb)))
+    else None
+  in
+  {
+    disco = disco_entries;
+    nddisco = nddisco_entries;
+    s4 = s4_entries;
+    pathvector = pv;
+    vrr = vrr_entries;
+  }
+
+let path_stretch graph ~dist path =
+  if dist <= 0.0 then 1.0
+  else Dijkstra.path_length graph path /. dist
+
+type stretch_series = { first : float array; later : float array }
+
+type stretch_result = {
+  s_disco : stretch_series;
+  s_nddisco : stretch_series;
+  s_s4 : stretch_series;
+  s_vrr : float array option;
+  vrr_failures : int;
+}
+
+(* Sample [pairs] (src, dst) pairs grouped by source so one SSSP per source
+   serves all its destinations. *)
+let sample_pairs rng ~n ~pairs =
+  let dests_per_src = 8 in
+  let sources = max 1 ((pairs + dests_per_src - 1) / dests_per_src) in
+  List.init sources (fun _ ->
+      let s = Rng.int rng n in
+      let ds =
+        List.init dests_per_src (fun _ -> Rng.int rng n)
+        |> List.filter (fun d -> d <> s)
+        |> List.sort_uniq compare
+      in
+      (s, ds))
+
+let stretch ?(heuristic = Core.Shortcut.No_path_knowledge) ?(pairs = 2000)
+    ?(with_vrr = false) (tb : Testbed.t) =
+  let n = Graph.n tb.graph in
+  let rng = Testbed.rng tb ~purpose:11 in
+  let groups = sample_pairs rng ~n ~pairs in
+  let ws = Dijkstra.make_workspace tb.graph in
+  let vrr = if with_vrr then Some (Testbed.vrr tb) else None in
+  let acc_df = ref [] and acc_dl = ref [] in
+  let acc_nf = ref [] and acc_nl = ref [] in
+  let acc_sf = ref [] and acc_sl = ref [] in
+  let acc_v = ref [] in
+  let vrr_failures = ref 0 in
+  List.iter
+    (fun (s, dests) ->
+      let sp = Dijkstra.sssp ~ws tb.graph s in
+      List.iter
+        (fun t ->
+          let dist = sp.Dijkstra.dist.(t) in
+          if dist < infinity && dist > 0.0 then begin
+            let st path = path_stretch tb.graph ~dist path in
+            acc_df :=
+              st (Core.Disco.route_first ~heuristic tb.disco ~src:s ~dst:t)
+              :: !acc_df;
+            acc_dl :=
+              st (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
+              :: !acc_dl;
+            acc_nf :=
+              st (Core.Nddisco.route_first ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
+              :: !acc_nf;
+            acc_nl :=
+              st (Core.Nddisco.route_later ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
+              :: !acc_nl;
+            acc_sf := st (S4.route_first tb.s4 ~src:s ~dst:t) :: !acc_sf;
+            acc_sl := st (S4.route_later tb.s4 ~src:s ~dst:t) :: !acc_sl;
+            match vrr with
+            | None -> ()
+            | Some v -> (
+                match Vrr.route v ~src:s ~dst:t with
+                | Some path -> acc_v := st path :: !acc_v
+                | None -> incr vrr_failures)
+          end)
+        dests)
+    groups;
+  let arr l = Array.of_list (List.rev !l) in
+  {
+    s_disco = { first = arr acc_df; later = arr acc_dl };
+    s_nddisco = { first = arr acc_nf; later = arr acc_nl };
+    s_s4 = { first = arr acc_sf; later = arr acc_sl };
+    s_vrr = (if with_vrr then Some (arr acc_v) else None);
+    vrr_failures = !vrr_failures;
+  }
+
+let mean_stretch_by_heuristic ?(pairs = 1000) (tb : Testbed.t) =
+  let n = Graph.n tb.graph in
+  let rng = Testbed.rng tb ~purpose:12 in
+  let groups = sample_pairs rng ~n ~pairs in
+  let ws = Dijkstra.make_workspace tb.graph in
+  List.map
+    (fun heuristic ->
+      let acc = ref [] in
+      List.iter
+        (fun (s, dests) ->
+          let sp = Dijkstra.sssp ~ws tb.graph s in
+          List.iter
+            (fun t ->
+              let dist = sp.Dijkstra.dist.(t) in
+              if dist < infinity && dist > 0.0 then
+                acc :=
+                  path_stretch tb.graph ~dist
+                    (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
+                  :: !acc)
+            dests)
+        groups;
+      (heuristic, Disco_util.Stats.mean (Array.of_list !acc)))
+    Core.Shortcut.all
+
+type congestion_result = {
+  c_disco : float array;
+  c_s4 : float array;
+  c_pathvector : float array;
+  c_vrr : float array option;
+}
+
+let congestion ?(with_vrr = false) (tb : Testbed.t) =
+  let n = Graph.n tb.graph in
+  let m = Graph.m tb.graph in
+  let rng = Testbed.rng tb ~purpose:13 in
+  (* Undirected edge id: index of the (min endpoint -> max endpoint) arc. *)
+  let edge_id u v =
+    let a = min u v and b = max u v in
+    match Graph.edge_index tb.graph a b with
+    | Some i -> i
+    | None -> invalid_arg "Metrics.congestion: route uses a non-edge"
+  in
+  let compact = Hashtbl.create (2 * m) in
+  let next = ref 0 in
+  let slot arc =
+    match Hashtbl.find_opt compact arc with
+    | Some s -> s
+    | None ->
+        let s = !next in
+        Hashtbl.add compact arc s;
+        incr next;
+        s
+  in
+  let use counts path =
+    let rec go = function
+      | [] | [ _ ] -> ()
+      | u :: (v :: _ as rest) ->
+          let s = slot (edge_id u v) in
+          counts.(s) <- counts.(s) +. 1.0;
+          go rest
+    in
+    go path
+  in
+  let disco_counts = Array.make m 0.0 in
+  let s4_counts = Array.make m 0.0 in
+  let pv_counts = Array.make m 0.0 in
+  let vrr_counts = Array.make m 0.0 in
+  let vrr = if with_vrr then Some (Testbed.vrr tb) else None in
+  let ws = Dijkstra.make_workspace tb.graph in
+  for s = 0 to n - 1 do
+    let t = Rng.int rng n in
+    if t <> s then begin
+      use disco_counts (Core.Disco.route_later tb.disco ~src:s ~dst:t);
+      use s4_counts (S4.route_later tb.s4 ~src:s ~dst:t);
+      let sp = Dijkstra.sssp ~ws tb.graph s in
+      use pv_counts
+        (Dijkstra.path_of_parents
+           ~parent:(fun u -> sp.Dijkstra.parent.(u))
+           ~src:s ~dst:t);
+      match vrr with
+      | None -> ()
+      | Some v -> (
+          match Vrr.route v ~src:s ~dst:t with
+          | Some path -> use vrr_counts path
+          | None -> ())
+    end
+  done;
+  {
+    c_disco = disco_counts;
+    c_s4 = s4_counts;
+    c_pathvector = pv_counts;
+    c_vrr = (if with_vrr then Some vrr_counts else None);
+  }

@@ -1,0 +1,36 @@
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+module Core = Disco_core
+
+type t = {
+  seed : int;
+  kind : Gen.kind;
+  graph : Disco_graph.Graph.t;
+  disco : Core.Disco.t;
+  s4 : Disco_baselines.S4.t;
+  mutable vrr_cache : Disco_baselines.Vrr.t option;
+}
+
+let rng_for seed purpose = Rng.create ((seed * 1_000_003) + purpose)
+
+let make ?(seed = 42) ?(params = Core.Params.default) kind ~n =
+  let graph = Gen.by_kind ~rng:(rng_for seed 1) kind ~n in
+  let nd = Core.Nddisco.build ~params ~rng:(rng_for seed 2) graph in
+  let disco = Core.Disco.of_nddisco ~rng:(rng_for seed 3) nd in
+  let s4 =
+    Disco_baselines.S4.build ~params
+      ~landmark_ids:nd.Core.Nddisco.landmarks.Core.Landmarks.ids
+      ~rng:(rng_for seed 4) graph
+  in
+  { seed; kind; graph; disco; s4; vrr_cache = None }
+
+let vrr t =
+  match t.vrr_cache with
+  | Some v -> v
+  | None ->
+      let v = Disco_baselines.Vrr.build ~rng:(rng_for t.seed 5) t.graph in
+      t.vrr_cache <- Some v;
+      v
+
+let rng t ~purpose = rng_for t.seed (100 + purpose)
+let nd t = t.disco.Core.Disco.nd

@@ -1,0 +1,28 @@
+(** Shared experiment setup: a topology plus converged protocol state.
+
+    Disco, NDDisco and S4 are built over the same landmark set (all three
+    select landmarks uniformly at the same rate; sharing the draw removes
+    one source of cross-protocol noise, as in the paper's methodology of
+    §5.1 where S4 is run "as in [34] except that we use path vector ...
+    making it more comparable to NDDisco"). VRR state is join-order
+    dependent and expensive, so it is built only on demand. *)
+
+type t = {
+  seed : int;
+  kind : Disco_graph.Gen.kind;
+  graph : Disco_graph.Graph.t;
+  disco : Disco_core.Disco.t;  (** [disco.nd] is the NDDisco instance *)
+  s4 : Disco_baselines.S4.t;
+  mutable vrr_cache : Disco_baselines.Vrr.t option;  (** via {!vrr} *)
+}
+
+val make :
+  ?seed:int -> ?params:Disco_core.Params.t -> Disco_graph.Gen.kind -> n:int -> t
+
+val vrr : t -> Disco_baselines.Vrr.t
+(** Build VRR over the same graph (cached per testbed). *)
+
+val rng : t -> purpose:int -> Disco_util.Rng.t
+(** Derived deterministic RNG stream for a measurement phase. *)
+
+val nd : t -> Disco_core.Nddisco.t

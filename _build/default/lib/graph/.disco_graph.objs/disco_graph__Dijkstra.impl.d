@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Array Disco_util Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Disco_util Float Graph Hashtbl List

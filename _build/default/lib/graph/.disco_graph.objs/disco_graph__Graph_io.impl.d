@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Fun Graph Hashtbl List Printf Seq String

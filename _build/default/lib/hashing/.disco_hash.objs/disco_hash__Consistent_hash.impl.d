@@ -1,0 +1,1 @@
+lib/hashing/consistent_hash.ml: Array Hash_space Hashtbl List Option Printf

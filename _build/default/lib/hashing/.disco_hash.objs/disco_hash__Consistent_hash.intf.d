@@ -1,0 +1,1 @@
+lib/hashing/consistent_hash.mli: Hash_space

@@ -1,0 +1,1 @@
+lib/hashing/fnv.ml: Char Int64 String

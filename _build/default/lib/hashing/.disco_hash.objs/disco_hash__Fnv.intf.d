@@ -1,0 +1,1 @@
+lib/hashing/fnv.mli:

@@ -1,0 +1,1 @@
+lib/hashing/hash_space.ml: Char Int64 Printf Sha256 String

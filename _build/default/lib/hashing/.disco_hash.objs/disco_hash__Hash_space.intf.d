@@ -1,0 +1,1 @@
+lib/hashing/hash_space.mli:

@@ -1,0 +1,53 @@
+type t = {
+  points : (Hash_space.id * int) array; (* sorted by ring position *)
+  owner_ids : int array;
+}
+
+let create ?(replicas = 1) ~owners ~owner_name () =
+  if replicas < 1 then invalid_arg "Consistent_hash.create: replicas";
+  let points =
+    Array.concat
+      (List.init replicas (fun r ->
+           Array.map
+             (fun o ->
+               let pos =
+                 Hash_space.of_name (Printf.sprintf "%s#%d" (owner_name o) r)
+               in
+               (pos, o))
+             owners))
+  in
+  Array.sort
+    (fun (a, oa) (b, ob) ->
+      let c = Hash_space.compare_unsigned a b in
+      if c <> 0 then c else compare oa ob)
+    points;
+  { points; owner_ids = Array.copy owners }
+
+let is_empty t = Array.length t.points = 0
+
+let owner_of t key =
+  let n = Array.length t.points in
+  if n = 0 then invalid_arg "Consistent_hash.owner_of: empty ring";
+  (* Binary search for the first point >= key; wrap to 0. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let pos, _ = t.points.(mid) in
+    if Hash_space.compare_unsigned pos key < 0 then lo := mid + 1 else hi := mid
+  done;
+  let idx = if !lo = n then 0 else !lo in
+  snd t.points.(idx)
+
+let owner_of_name t name = owner_of t (Hash_space.of_name name)
+
+let owners t = Array.copy t.owner_ids
+
+let load_counts t ~keys =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun k ->
+      let o = owner_of t k in
+      Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o)))
+    keys;
+  Array.to_list t.owner_ids
+  |> List.map (fun o -> (o, Option.value ~default:0 (Hashtbl.find_opt counts o)))

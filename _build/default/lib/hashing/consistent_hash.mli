@@ -1,0 +1,29 @@
+(** Consistent hashing over a set of owner nodes.
+
+    Disco runs a consistent-hashing name-resolution database over the
+    globally-known set of landmarks (§4.3): the landmark owning key
+    [h(name)] stores that node's current address. Theorem 2 notes that
+    using multiple hash functions (virtual nodes) reduces the load
+    imbalance from O(log n) to O(1); [replicas] controls that. *)
+
+type t
+
+val create : ?replicas:int -> owners:int array -> owner_name:(int -> string) -> unit -> t
+(** [create ~owners ~owner_name ()] builds a ring over [owners] (arbitrary
+    int ids, e.g. landmark node ids). [owner_name] gives the stable string
+    hashed to position each owner; [replicas] virtual points are placed per
+    owner (default 1, the paper's "simplest form"). *)
+
+val owner_of : t -> Hash_space.id -> int
+(** The owner whose ring point is the successor of the key. *)
+
+val owner_of_name : t -> string -> int
+(** [owner_of t (Hash_space.of_name name)]. *)
+
+val owners : t -> int array
+
+val load_counts : t -> keys:Hash_space.id array -> (int * int) list
+(** For diagnostics/tests: number of keys from [keys] landing on each
+    owner, as [(owner, count)] pairs. *)
+
+val is_empty : t -> bool

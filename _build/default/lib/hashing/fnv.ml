@@ -1,0 +1,18 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let step acc byte =
+  Int64.mul (Int64.logxor acc (Int64.of_int byte)) prime
+
+let hash s =
+  let acc = ref offset_basis in
+  String.iter (fun c -> acc := step !acc (Char.code c)) s;
+  !acc
+
+let hash_with_seed seed s =
+  let acc = ref offset_basis in
+  for i = 0 to 7 do
+    acc := step !acc ((seed lsr (8 * i)) land 0xFF)
+  done;
+  String.iter (fun c -> acc := step !acc (Char.code c)) s;
+  !acc

@@ -1,0 +1,11 @@
+(** FNV-1a 64-bit hash.
+
+    A fast non-cryptographic hash used where SHA-256 would be overkill:
+    consistent-hash virtual node placement and internal hash tables. *)
+
+val hash : string -> int64
+(** FNV-1a of the whole string. *)
+
+val hash_with_seed : int -> string -> int64
+(** Seeded variant: the seed is mixed in before the string, giving the
+    independent hash functions needed for multi-hash consistent hashing. *)

@@ -1,0 +1,1 @@
+lib/pathvector/pathvector.ml: Array Disco_graph Disco_sim Hashtbl List

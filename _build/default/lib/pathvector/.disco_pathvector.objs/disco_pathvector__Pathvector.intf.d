@@ -1,0 +1,1 @@
+lib/pathvector/pathvector.mli: Disco_graph Hashtbl

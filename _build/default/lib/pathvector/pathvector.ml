@@ -1,0 +1,119 @@
+module Graph = Disco_graph.Graph
+module Sim = Disco_sim.Sim
+
+type mode =
+  | Full
+  | Landmarks_and_k_closest of { landmarks : bool array; k : int }
+  | Landmarks_and_radius of { landmarks : bool array; radius : float array }
+
+type route = { dist : float; path : int list }
+
+type announcement = { a_dest : int; a_dist : float; a_path : int list }
+
+type result = {
+  tables : (int, route) Hashtbl.t array;
+  total_messages : int;
+  messages_by_node : int array;
+  converged_at : float;
+  events : int;
+  adj_rib_entries : int array;
+}
+
+let is_landmark mode v =
+  match mode with
+  | Full -> false
+  | Landmarks_and_k_closest { landmarks; _ } | Landmarks_and_radius { landmarks; _ }
+    -> landmarks.(v)
+
+(* Whether [node] may keep a route of length [dist] to non-landmark [dest];
+   returns the destination to evict to make room, if any. *)
+let admission mode table ~node ~dest ~dist =
+  match mode with
+  | Full -> `Accept_no_evict
+  | Landmarks_and_radius { radius; _ } ->
+      if dist < radius.(dest) then `Accept_no_evict else `Reject
+  | Landmarks_and_k_closest { landmarks; k } ->
+      (* Count current non-landmark entries (the self entry is bookkeeping,
+         not vicinity state); find the farthest for possible eviction. *)
+      let count = ref 0 and worst = ref (-1) and worst_dist = ref neg_infinity in
+      Hashtbl.iter
+        (fun d (r : route) ->
+          if (not landmarks.(d)) && d <> dest && d <> node then begin
+            incr count;
+            if r.dist > !worst_dist then begin
+              worst_dist := r.dist;
+              worst := d
+            end
+          end)
+        table;
+      if Hashtbl.mem table dest then `Accept_no_evict
+      else if !count < k then `Accept_no_evict
+      else if dist < !worst_dist then `Accept_evict !worst
+      else `Reject
+
+let run ~graph ~mode =
+  let n = Graph.n graph in
+  let sim = Sim.create ~graph in
+  let tables = Array.init n (fun _ -> Hashtbl.create 64) in
+  (* (neighbor, dest) pairs for which an announcement would sit in a
+     non-forgetful adjacency RIB. *)
+  let adj_rib = Array.init n (fun _ -> Hashtbl.create 64) in
+  let announce node dest =
+    match Hashtbl.find_opt tables.(node) dest with
+    | None -> ()
+    | Some r ->
+        Graph.iter_neighbors graph node (fun nbr _ ->
+            Sim.send sim ~src:node ~dst:nbr
+              { a_dest = dest; a_dist = r.dist; a_path = r.path })
+  in
+  let handler node ~src { a_dest; a_dist; a_path } =
+    if a_dest <> node && not (List.mem node a_path) then begin
+      Hashtbl.replace adj_rib.(node) (src, a_dest) ();
+      match Graph.edge_weight graph node src with
+      | None -> ()
+      | Some w ->
+          let dist = a_dist +. w in
+          let path = node :: a_path in
+          let table = tables.(node) in
+          let better =
+            match Hashtbl.find_opt table a_dest with
+            | Some r -> dist < r.dist
+            | None -> true
+          in
+          if better then
+            if is_landmark mode a_dest then begin
+              Hashtbl.replace table a_dest { dist; path };
+              announce node a_dest
+            end
+            else begin
+              match admission mode table ~node ~dest:a_dest ~dist with
+              | `Reject -> ()
+              | `Accept_no_evict ->
+                  Hashtbl.replace table a_dest { dist; path };
+                  announce node a_dest
+              | `Accept_evict victim ->
+                  Hashtbl.remove table victim;
+                  Hashtbl.replace table a_dest { dist; path };
+                  announce node a_dest
+            end
+    end
+  in
+  Sim.set_handler sim handler;
+  (* Every node originates itself at t=0. *)
+  for v = 0 to n - 1 do
+    Hashtbl.replace tables.(v) v { dist = 0.0; path = [ v ] };
+    Sim.schedule sim ~delay:0.0 (fun () -> announce v v)
+  done;
+  Sim.run sim;
+  (* Self-entries are not routing state; drop them before reporting. *)
+  Array.iteri (fun v table -> Hashtbl.remove table v) tables;
+  {
+    tables;
+    total_messages = Sim.messages_sent sim;
+    messages_by_node = Sim.messages_by_node sim;
+    converged_at = Sim.time sim;
+    events = Sim.events_processed sim;
+    adj_rib_entries = Array.map Hashtbl.length adj_rib;
+  }
+
+let table_sizes r = Array.map Hashtbl.length r.tables

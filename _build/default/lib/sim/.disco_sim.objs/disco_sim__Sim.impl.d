@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Disco_graph Disco_util

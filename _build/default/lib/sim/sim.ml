@@ -1,0 +1,75 @@
+module Heap = Disco_util.Heap
+module Graph = Disco_graph.Graph
+
+type 'msg event = Deliver of { dst : int; src : int; msg : 'msg } | Timer of (unit -> unit)
+
+type 'msg t = {
+  graph : Graph.t;
+  events : 'msg event Heap.t;
+  mutable now : float;
+  mutable handler : (int -> src:int -> 'msg -> unit) option;
+  sent : int array;
+  mutable total_sent : int;
+  mutable processed : int;
+}
+
+let create ~graph =
+  {
+    graph;
+    events = Heap.create ();
+    now = 0.0;
+    handler = None;
+    sent = Array.make (Graph.n graph) 0;
+    total_sent = 0;
+    processed = 0;
+  }
+
+let set_handler t f = t.handler <- Some f
+let time t = t.now
+
+let count_send t src =
+  t.sent.(src) <- t.sent.(src) + 1;
+  t.total_sent <- t.total_sent + 1
+
+let send t ~src ~dst msg =
+  match Graph.edge_weight t.graph src dst with
+  | None -> invalid_arg "Sim.send: src and dst are not adjacent"
+  | Some latency ->
+      count_send t src;
+      Heap.push t.events (t.now +. latency) (Deliver { dst; src; msg })
+
+let send_direct t ~src ~dst ~latency msg =
+  if latency < 0.0 then invalid_arg "Sim.send_direct: negative latency";
+  count_send t src;
+  Heap.push t.events (t.now +. latency) (Deliver { dst; src; msg })
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Heap.push t.events (t.now +. delay) (Timer f)
+
+let run ?until t =
+  let handler =
+    match t.handler with
+    | Some h -> h
+    | None -> invalid_arg "Sim.run: no handler installed"
+  in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.events with
+    | None -> continue := false
+    | Some (at, _) when (match until with Some u -> at > u | None -> false) ->
+        continue := false
+    | Some _ -> (
+        match Heap.pop t.events with
+        | None -> continue := false
+        | Some (at, ev) ->
+            t.now <- at;
+            t.processed <- t.processed + 1;
+            (match ev with
+            | Deliver { dst; src; msg } -> handler dst ~src msg
+            | Timer f -> f ()))
+  done
+
+let messages_sent t = t.total_sent
+let messages_by_node t = Array.copy t.sent
+let events_processed t = t.processed

@@ -1,0 +1,1 @@
+lib/synopsis/diffusion.ml: Array Disco_graph Disco_sim Fm_sketch Queue

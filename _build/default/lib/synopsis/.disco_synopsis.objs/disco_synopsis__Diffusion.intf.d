@@ -1,0 +1,1 @@
+lib/synopsis/diffusion.mli: Disco_graph

@@ -1,0 +1,1 @@
+lib/synopsis/fm_sketch.ml: Array Disco_hash Int64

@@ -1,0 +1,1 @@
+lib/synopsis/fm_sketch.mli:

@@ -1,0 +1,26 @@
+(** Gossip-based synopsis diffusion over a network graph.
+
+    Every node starts with a sketch containing only itself and repeatedly
+    exchanges synopses with neighbors (unstructured gossip over the event
+    simulator). Because FM sketches are duplicate-insensitive, the gossip
+    converges to the global sketch at every node in O(diameter) rounds,
+    after which each node's estimate of n is within the sketch's accuracy. *)
+
+type outcome = {
+  estimates : float array;  (** per-node estimate of n after gossip *)
+  rounds_run : int;
+  messages : int;
+  sketch_bytes : int;
+}
+
+val estimate_n :
+  graph:Disco_graph.Graph.t ->
+  node_name:(int -> string) ->
+  ?buckets:int ->
+  ?rounds:int ->
+  unit ->
+  outcome
+(** [estimate_n ~graph ~node_name ()] runs gossip with [buckets] bitmaps
+    (default 64, i.e. 256-byte synopses as in §4.1) for [rounds] rounds
+    (default: enough for any graph we generate — 2 * a BFS-diameter
+    estimate + 2). *)

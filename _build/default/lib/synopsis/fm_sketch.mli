@@ -1,0 +1,34 @@
+(** Flajolet–Martin duplicate-insensitive cardinality sketches.
+
+    Synopsis diffusion (Nath et al., SenSys 2004) aggregates
+    order-and-duplicate-insensitive synopses by gossip; Disco uses it to
+    let every node estimate n (§4.1: "robust, accurate estimates, e.g.,
+    within 10% on average using 256-byte synopses").
+
+    A sketch is [buckets] bitmaps; inserting an element sets, in one
+    hash-selected bitmap, the bit at a geometrically distributed position.
+    Union is bitwise OR, so re-insertion and re-aggregation are harmless —
+    exactly what unstructured gossip needs. *)
+
+type t
+
+val create : buckets:int -> t
+(** Fresh empty sketch. [buckets] must be a power of two (the standard
+    sizes 32/64/128 keep the estimate's variance at ~1.3/sqrt buckets). *)
+
+val add : t -> string -> unit
+(** Insert an element by name (hashed with SHA-256; deterministic). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] ORs [src] into [dst]. *)
+
+val equal : t -> t -> bool
+val copy : t -> t
+
+val estimate : t -> float
+(** Flajolet–Martin estimate of the number of distinct inserted elements:
+    [buckets / phi * 2^(mean lowest-zero-bit position)]. *)
+
+val byte_size : t -> int
+(** Wire size of the synopsis: 4 bytes per bucket (bitmaps are 31-bit, so
+    64 buckets give the paper's 256-byte synopsis). *)

@@ -1,0 +1,60 @@
+let width_for d =
+  if d <= 1 then 0
+  else
+    let rec go w cap = if cap >= d then w else go (w + 1) (cap * 2) in
+    go 1 2
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable bits : int }
+
+  let create () = { buf = Bytes.make 8 '\000'; bits = 0 }
+
+  let ensure t needed_bits =
+    let needed_bytes = (t.bits + needed_bits + 7) / 8 in
+    if needed_bytes > Bytes.length t.buf then begin
+      let buf = Bytes.make (max needed_bytes (2 * Bytes.length t.buf)) '\000' in
+      Bytes.blit t.buf 0 buf 0 (Bytes.length t.buf);
+      t.buf <- buf
+    end
+
+  let put_bit t b =
+    let byte = t.bits / 8 and off = t.bits mod 8 in
+    if b <> 0 then begin
+      let cur = Char.code (Bytes.get t.buf byte) in
+      Bytes.set t.buf byte (Char.chr (cur lor (0x80 lsr off)))
+    end;
+    t.bits <- t.bits + 1
+
+  let put t v ~width =
+    if width < 0 || width > 30 then invalid_arg "Bits.Writer.put: width";
+    if v < 0 || (width < 30 && v lsr width <> 0) then
+      invalid_arg "Bits.Writer.put: value out of range";
+    ensure t width;
+    for i = width - 1 downto 0 do
+      put_bit t ((v lsr i) land 1)
+    done
+
+  let bit_length t = t.bits
+  let byte_length t = (t.bits + 7) / 8
+  let to_bytes t = Bytes.sub t.buf 0 (byte_length t)
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+
+  let remaining_bits t = (8 * Bytes.length t.data) - t.pos
+
+  let get t ~width =
+    if width < 0 || width > 30 then invalid_arg "Bits.Reader.get: width";
+    if remaining_bits t < width then invalid_arg "Bits.Reader.get: underflow";
+    let v = ref 0 in
+    for _ = 1 to width do
+      let byte = t.pos / 8 and off = t.pos mod 8 in
+      let bit = (Char.code (Bytes.get t.data byte) lsr (7 - off)) land 1 in
+      v := (!v lsl 1) lor bit;
+      t.pos <- t.pos + 1
+    done;
+    !v
+end

@@ -1,0 +1,42 @@
+(** Bit-granular writers and readers.
+
+    Disco addresses embed explicit routes where each hop at a degree-[d]
+    node costs [ceil(log2 d)] bits (§4.2 of the paper, following the
+    pathlet-routing label format). This module provides the MSB-first bit
+    streams used by that encoding. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val put : t -> int -> width:int -> unit
+  (** [put w v ~width] appends the low [width] bits of [v], MSB first.
+      Requires [0 <= width <= 30] and [0 <= v < 2^width]. *)
+
+  val bit_length : t -> int
+  (** Number of bits written so far. *)
+
+  val byte_length : t -> int
+  (** [ceil (bit_length / 8)]: size if serialized into whole bytes. *)
+
+  val to_bytes : t -> bytes
+  (** Serialize; the final partial byte is zero-padded. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : bytes -> t
+
+  val get : t -> width:int -> int
+  (** [get r ~width] reads the next [width] bits, MSB first.
+      @raise Invalid_argument if fewer than [width] bits remain. *)
+
+  val remaining_bits : t -> int
+end
+
+val width_for : int -> int
+(** [width_for d] is the number of bits needed to address one of [d]
+    alternatives: [ceil(log2 d)], with [width_for 1 = 0] and
+    [width_for 0 = 0]. *)

@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by float priority.
+
+    Used as the frontier in Dijkstra's algorithm (with lazy deletion: stale
+    entries are pushed again and skipped on pop) and as the pending-event
+    queue of the discrete event simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v] with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. Ties are broken by
+    insertion order (earlier insertions first), which keeps simulations
+    deterministic. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

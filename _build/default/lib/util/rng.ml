@@ -1,0 +1,76 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    if Int64.(sub (add (sub r v) (of_int (bound - 1))) minus_one) < 0L then
+      draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  assert (k <= n);
+  if k * 3 >= n then begin
+    (* Dense case: shuffle a full permutation prefix. *)
+    let a = Array.init n (fun i -> i) in
+    shuffle t a;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Sparse case: hash-set rejection. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let exponential t lambda =
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. lambda

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to check graph connectivity and to stitch random-graph generators
+    into a single connected component. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [true] if they were previously distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

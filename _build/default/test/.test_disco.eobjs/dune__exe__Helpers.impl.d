@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Disco_graph Disco_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bytes Disco_util Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_bvr_seattle.ml: Alcotest Array Disco_baselines Disco_core Disco_graph Disco_util Float Helpers Printf

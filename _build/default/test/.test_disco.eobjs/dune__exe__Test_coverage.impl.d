@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Disco_core Disco_graph Disco_util Helpers Printf

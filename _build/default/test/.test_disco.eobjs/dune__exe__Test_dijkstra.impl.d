@@ -1,0 +1,1 @@
+test/test_dijkstra.ml: Alcotest Array Disco_graph Float Helpers

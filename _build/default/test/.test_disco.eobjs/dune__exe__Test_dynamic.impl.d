@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Disco_core Disco_dynamic Disco_graph Disco_util Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Disco_core Disco_experiments Disco_graph Disco_util Lazy List

@@ -1,0 +1,1 @@
+test/test_forwarding.ml: Alcotest Array Disco_core Disco_graph Disco_util Float Format Helpers List Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Disco_graph Disco_util Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Disco_graph Helpers List

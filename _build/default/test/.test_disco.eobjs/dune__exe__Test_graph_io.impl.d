@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Disco_graph Filename Float Fun Helpers List String Sys

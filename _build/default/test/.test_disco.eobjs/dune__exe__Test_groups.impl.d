@@ -1,0 +1,1 @@
+test/test_groups.ml: Alcotest Array Disco_core Disco_hash Hashtbl Helpers QCheck

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Disco_hash Fun Int64 List Printf

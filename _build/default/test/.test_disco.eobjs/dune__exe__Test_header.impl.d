@@ -1,0 +1,1 @@
+test/test_header.ml: Alcotest Disco_core Disco_graph Disco_util Helpers List

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Disco_util Helpers List QCheck

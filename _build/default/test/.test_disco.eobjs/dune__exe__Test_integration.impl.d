@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Disco_core Disco_graph Disco_pathvector Disco_util Float Hashtbl Helpers List Printf

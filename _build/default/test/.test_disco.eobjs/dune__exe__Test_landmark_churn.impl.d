@@ -1,0 +1,1 @@
+test/test_landmark_churn.ml: Alcotest Disco_core Disco_util List Printf

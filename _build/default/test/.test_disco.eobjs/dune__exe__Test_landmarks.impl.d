@@ -1,0 +1,1 @@
+test/test_landmarks.ml: Alcotest Array Disco_core Disco_graph Disco_util Float Fun Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_nddisco.ml: Alcotest Array Disco_core Disco_graph Disco_util Float Helpers Printf QCheck

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Array Disco_core List Printf

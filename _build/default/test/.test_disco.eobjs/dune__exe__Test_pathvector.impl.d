@@ -1,0 +1,1 @@
+test/test_pathvector.ml: Alcotest Array Disco_graph Disco_pathvector Float Fun Hashtbl Helpers List

@@ -1,0 +1,1 @@
+test/test_resolution.ml: Alcotest Array Digest Disco_core Disco_graph Disco_hash Disco_util Helpers Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_s4.ml: Alcotest Array Disco_baselines Disco_core Disco_graph Disco_util Float Helpers Printf

@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Bytes Disco_hash Helpers List Printf QCheck String

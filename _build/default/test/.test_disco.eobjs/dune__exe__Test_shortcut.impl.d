@@ -1,0 +1,1 @@
+test/test_shortcut.ml: Alcotest Array Disco_core Disco_graph Helpers List

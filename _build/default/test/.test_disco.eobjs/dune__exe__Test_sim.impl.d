@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Disco_graph Disco_sim List

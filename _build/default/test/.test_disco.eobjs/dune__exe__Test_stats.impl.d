@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Disco_util Gen Helpers List QCheck

@@ -1,0 +1,1 @@
+test/test_synopsis.ml: Alcotest Array Disco_core Disco_graph Disco_synopsis Disco_util Float List Printf

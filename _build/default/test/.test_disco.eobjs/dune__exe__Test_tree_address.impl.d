@@ -1,0 +1,1 @@
+test/test_tree_address.ml: Alcotest Array Disco_core Disco_graph Disco_util Hashtbl Helpers List Printf

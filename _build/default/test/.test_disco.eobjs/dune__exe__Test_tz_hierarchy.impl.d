@@ -1,0 +1,1 @@
+test/test_tz_hierarchy.ml: Alcotest Array Disco_baselines Disco_graph Disco_util Float Helpers Printf

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Disco_util Helpers List QCheck

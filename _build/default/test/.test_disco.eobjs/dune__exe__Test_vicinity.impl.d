@@ -1,0 +1,1 @@
+test/test_vicinity.ml: Alcotest Array Disco_core Disco_graph Float Fun Helpers List

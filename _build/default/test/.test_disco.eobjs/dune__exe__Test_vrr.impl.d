@@ -1,0 +1,1 @@
+test/test_vrr.ml: Alcotest Array Disco_baselines Disco_core Disco_graph Disco_hash Disco_util Fun Helpers List Printf

@@ -1,0 +1,65 @@
+module Bits = Disco_util.Bits
+
+let test_width_for () =
+  List.iter
+    (fun (d, w) -> Alcotest.(check int) (Printf.sprintf "width_for %d" d) w (Bits.width_for d))
+    [ (0, 0); (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (1024, 10) ]
+
+let test_simple_roundtrip () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.put w 5 ~width:3;
+  Bits.Writer.put w 0 ~width:1;
+  Bits.Writer.put w 1023 ~width:10;
+  Alcotest.(check int) "bit length" 14 (Bits.Writer.bit_length w);
+  Alcotest.(check int) "byte length" 2 (Bits.Writer.byte_length w);
+  let r = Bits.Reader.of_bytes (Bits.Writer.to_bytes w) in
+  Alcotest.(check int) "read 3 bits" 5 (Bits.Reader.get r ~width:3);
+  Alcotest.(check int) "read 1 bit" 0 (Bits.Reader.get r ~width:1);
+  Alcotest.(check int) "read 10 bits" 1023 (Bits.Reader.get r ~width:10)
+
+let test_zero_width () =
+  let w = Bits.Writer.create () in
+  Bits.Writer.put w 0 ~width:0;
+  Alcotest.(check int) "no bits" 0 (Bits.Writer.bit_length w)
+
+let test_out_of_range_rejected () =
+  let w = Bits.Writer.create () in
+  Alcotest.check_raises "value too wide" (Invalid_argument "Bits.Writer.put: value out of range")
+    (fun () -> Bits.Writer.put w 4 ~width:2)
+
+let test_underflow_rejected () =
+  let r = Bits.Reader.of_bytes (Bytes.make 1 '\255') in
+  ignore (Bits.Reader.get r ~width:8);
+  Alcotest.check_raises "underflow" (Invalid_argument "Bits.Reader.get: underflow")
+    (fun () -> ignore (Bits.Reader.get r ~width:1))
+
+let prop_roundtrip =
+  Helpers.qtest "random field roundtrip" ~count:200
+    QCheck.(list (pair (int_range 0 20) (int_range 0 1_000_000)))
+    (fun fields ->
+      let fields =
+        List.map (fun (w, v) -> (w, if w = 0 then 0 else v land ((1 lsl w) - 1))) fields
+      in
+      let writer = Bits.Writer.create () in
+      List.iter (fun (w, v) -> Bits.Writer.put writer v ~width:w) fields;
+      let reader = Bits.Reader.of_bytes (Bits.Writer.to_bytes writer) in
+      List.for_all (fun (w, v) -> Bits.Reader.get reader ~width:w = v) fields)
+
+let prop_bit_length =
+  Helpers.qtest "bit length is sum of widths" ~count:100
+    QCheck.(list (int_range 0 20))
+    (fun widths ->
+      let writer = Bits.Writer.create () in
+      List.iter (fun w -> Bits.Writer.put writer 0 ~width:w) widths;
+      Bits.Writer.bit_length writer = List.fold_left ( + ) 0 widths)
+
+let suite =
+  [
+    Alcotest.test_case "width_for" `Quick test_width_for;
+    Alcotest.test_case "simple roundtrip" `Quick test_simple_roundtrip;
+    Alcotest.test_case "zero width" `Quick test_zero_width;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "underflow rejected" `Quick test_underflow_rejected;
+    prop_roundtrip;
+    prop_bit_length;
+  ]

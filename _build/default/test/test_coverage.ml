@@ -1,0 +1,95 @@
+(* Landmark-coverage repair: §6 says the guarantees only need a landmark
+   in every vicinity; with ensure_coverage the stretch theorems become
+   deterministic (no QCheck.assume needed). *)
+
+module Graph = Disco_graph.Graph
+module Gen = Disco_graph.Gen
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Core = Disco_core
+module Landmarks = Disco_core.Landmarks
+module Vicinity = Disco_core.Vicinity
+
+let covered g ~k (lm : Landmarks.t) =
+  let vic = Vicinity.create g ~k in
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if not lm.Landmarks.is_landmark.(v) then begin
+      let vw = Vicinity.view vic v in
+      if not (Array.exists (fun w -> lm.Landmarks.is_landmark.(w)) vw.Vicinity.members)
+      then ok := false
+    end
+  done;
+  !ok
+
+let test_repairs_pathological_set () =
+  (* A single far-corner landmark cannot cover a big ring's vicinities. *)
+  let g = Gen.ring ~n:128 in
+  let k = 6 in
+  let lm = Landmarks.of_ids g [| 0 |] in
+  Alcotest.(check bool) "initially uncovered" false (covered g ~k lm);
+  let repaired, promotions = Landmarks.ensure_coverage g ~k lm in
+  Alcotest.(check bool) "covered after repair" true (covered g ~k repaired);
+  Alcotest.(check bool)
+    (Printf.sprintf "promotions (%d) > 0" promotions)
+    true (promotions > 0)
+
+let test_noop_when_covered () =
+  let rng = Rng.create 5 in
+  let g = Gen.gnm ~rng ~n:256 ~m:1024 in
+  let k = Core.Params.vicinity_size Core.Params.default ~n:256 in
+  let lm = Landmarks.build ~rng ~params:Core.Params.default g in
+  if covered g ~k lm then begin
+    let repaired, promotions = Landmarks.ensure_coverage g ~k lm in
+    Alcotest.(check int) "no promotions needed" 0 promotions;
+    Alcotest.(check int) "same landmark count" (Landmarks.count lm)
+      (Landmarks.count repaired)
+  end
+
+let prop_deterministic_stretch_bounds =
+  (* With guarantee_coverage the NDDisco bounds need no assume: they hold
+     on EVERY random graph and landmark draw. *)
+  Helpers.qtest "stretch 5/3 deterministic under coverage repair" ~count:15
+    Helpers.seed_arb (fun seed ->
+      let g = Helpers.random_weighted_graph seed in
+      let nd =
+        Core.Nddisco.build ~guarantee_coverage:true ~rng:(Rng.create seed) g
+      in
+      let ws = Dijkstra.make_workspace g in
+      let ok = ref true in
+      for s = 0 to min 12 (Graph.n g - 1) do
+        let sp = Dijkstra.sssp ~ws g s in
+        for t = 0 to Graph.n g - 1 do
+          if t <> s && sp.Dijkstra.dist.(t) > 0.0 && sp.Dijkstra.dist.(t) < infinity
+          then begin
+            let first =
+              Core.Nddisco.route_first ~heuristic:Core.Shortcut.No_shortcut nd ~src:s
+                ~dst:t
+            in
+            let later =
+              Core.Nddisco.route_later ~heuristic:Core.Shortcut.No_shortcut nd ~src:s
+                ~dst:t
+            in
+            let d = sp.Dijkstra.dist.(t) in
+            if Helpers.path_len g first /. d > 5.0 +. 1e-9 then ok := false;
+            if Helpers.path_len g later /. d > 3.0 +. 1e-9 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_star_coverage () =
+  (* Star-of-stars with a bad landmark draw gets repaired too. *)
+  let g = Gen.star_of_stars ~branch:8 in
+  let k = 5 in
+  let lm = Landmarks.of_ids g [| Graph.n g - 1 |] in
+  let repaired, _ = Landmarks.ensure_coverage g ~k lm in
+  Alcotest.(check bool) "covered" true (covered g ~k repaired)
+
+let suite =
+  [
+    Alcotest.test_case "repairs pathological set" `Quick test_repairs_pathological_set;
+    Alcotest.test_case "noop when covered" `Quick test_noop_when_covered;
+    prop_deterministic_stretch_bounds;
+    Alcotest.test_case "star coverage" `Quick test_star_coverage;
+  ]

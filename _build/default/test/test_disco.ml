@@ -1,0 +1,42 @@
+(* Test runner: all suites, grouped per module. *)
+
+let () =
+  Alcotest.run "disco"
+    [
+      ("rng", Test_rng.suite);
+      ("bits", Test_bits.suite);
+      ("heap", Test_heap.suite);
+      ("union-find", Test_union_find.suite);
+      ("stats", Test_stats.suite);
+      ("sha256", Test_sha256.suite);
+      ("hashing", Test_hashing.suite);
+      ("graph", Test_graph.suite);
+      ("dijkstra", Test_dijkstra.suite);
+      ("generators", Test_gen.suite);
+      ("graph-io", Test_graph_io.suite);
+      ("sim", Test_sim.suite);
+      ("pathvector", Test_pathvector.suite);
+      ("synopsis", Test_synopsis.suite);
+      ("params", Test_params.suite);
+      ("address", Test_address.suite);
+      ("landmarks", Test_landmarks.suite);
+      ("vicinity", Test_vicinity.suite);
+      ("shortcut", Test_shortcut.suite);
+      ("nddisco", Test_nddisco.suite);
+      ("tree-address", Test_tree_address.suite);
+      ("landmark-churn", Test_landmark_churn.suite);
+      ("landmark-coverage", Test_coverage.suite);
+      ("groups", Test_groups.suite);
+      ("overlay", Test_overlay.suite);
+      ("resolution", Test_resolution.suite);
+      ("disco-core", Test_disco_core.suite);
+      ("forwarding", Test_forwarding.suite);
+      ("header", Test_header.suite);
+      ("s4", Test_s4.suite);
+      ("vrr", Test_vrr.suite);
+      ("tz-hierarchy", Test_tz_hierarchy.suite);
+      ("bvr-seattle", Test_bvr_seattle.suite);
+      ("integration", Test_integration.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,201 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Core = Disco_core
+module Disco = Disco_core.Disco
+
+let build ?(weighted = true) seed =
+  let g =
+    if weighted then Helpers.random_weighted_graph seed
+    else Helpers.random_graph ~n_min:30 ~n_max:80 seed
+  in
+  (g, Disco.build ~rng:(Rng.create seed) g)
+
+let test_routes_are_paths () =
+  let g, d = build 3 in
+  let n = Graph.n g in
+  for s = 0 to min 10 (n - 1) do
+    for t = 0 to min 10 (n - 1) do
+      if s <> t then begin
+        Helpers.check_path g ~src:s ~dst:t (Disco.route_first d ~src:s ~dst:t);
+        Helpers.check_path g ~src:s ~dst:t (Disco.route_later d ~src:s ~dst:t)
+      end
+    done
+  done
+
+let landmark_in_every_vicinity (d : Disco.t) =
+  let nd = d.Disco.nd in
+  let n = Graph.n nd.Core.Nddisco.graph in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if not nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark.(v) then begin
+      let vw = Core.Vicinity.view nd.Core.Nddisco.vicinity v in
+      if
+        not
+          (Array.exists
+             (fun w -> nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark.(w))
+             vw.Core.Vicinity.members)
+      then ok := false
+    end
+  done;
+  !ok
+
+(* The w.h.p. precondition of Theorem 1: the routing step finds a group
+   member in the vicinity for every pair (no resolution fallback). *)
+let no_fallbacks (d : Disco.t) g =
+  let ok = ref true in
+  let n = Graph.n g in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if s <> t then begin
+        match Disco.classify_first d ~src:s ~dst:t with
+        | Disco.Resolution_fallback -> ok := false
+        | _ -> ()
+      end
+    done
+  done;
+  !ok
+
+let prop_theorem1_first_packet =
+  Helpers.qtest "Theorem 1: first packet stretch <= 7" ~count:12 Helpers.seed_arb
+    (fun seed ->
+      let g, d = build seed in
+      QCheck.assume (landmark_in_every_vicinity d);
+      QCheck.assume (no_fallbacks d g);
+      let ws = Dijkstra.make_workspace g in
+      let ok = ref true in
+      for s = 0 to min 15 (Graph.n g - 1) do
+        let sp = Dijkstra.sssp ~ws g s in
+        for t = 0 to Graph.n g - 1 do
+          if t <> s && sp.Dijkstra.dist.(t) > 0.0 && sp.Dijkstra.dist.(t) < infinity
+          then begin
+            let r =
+              Disco.route_first ~heuristic:Core.Shortcut.No_shortcut d ~src:s ~dst:t
+            in
+            if Helpers.path_len g r /. sp.Dijkstra.dist.(t) > 7.0 +. 1e-9 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_theorem1_later_packets =
+  Helpers.qtest "Theorem 1: later packets stretch <= 3" ~count:12 Helpers.seed_arb
+    (fun seed ->
+      let g, d = build seed in
+      QCheck.assume (landmark_in_every_vicinity d);
+      let ws = Dijkstra.make_workspace g in
+      let ok = ref true in
+      for s = 0 to min 15 (Graph.n g - 1) do
+        let sp = Dijkstra.sssp ~ws g s in
+        for t = 0 to Graph.n g - 1 do
+          if t <> s && sp.Dijkstra.dist.(t) > 0.0 && sp.Dijkstra.dist.(t) < infinity
+          then begin
+            let r =
+              Disco.route_later ~heuristic:Core.Shortcut.No_shortcut d ~src:s ~dst:t
+            in
+            if Helpers.path_len g r /. sp.Dijkstra.dist.(t) > 3.0 +. 1e-9 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_classify_cases () =
+  let g, d = build 7 in
+  let nd = d.Disco.nd in
+  let n = Graph.n g in
+  for s = 0 to min 15 (n - 1) do
+    for t = 0 to min 15 (n - 1) do
+      if s <> t then begin
+        match Disco.classify_first d ~src:s ~dst:t with
+        | Disco.Trivial -> Alcotest.fail "trivial only for s = t"
+        | Disco.Direct_landmark ->
+            Alcotest.(check bool) "is landmark" true
+              nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark.(t)
+        | Disco.Direct_vicinity ->
+            Alcotest.(check bool) "in vicinity" true
+              (Core.Vicinity.mem nd.Core.Nddisco.vicinity s t)
+        | Disco.Known_address ->
+            Alcotest.(check bool) "same group" true (Core.Groups.same_group d.Disco.groups s t)
+        | Disco.Via_group_member w ->
+            Alcotest.(check bool) "w in vicinity" true
+              (Core.Vicinity.mem nd.Core.Nddisco.vicinity s w);
+            Alcotest.(check bool) "w stores t" true (Core.Groups.same_group d.Disco.groups w t)
+        | Disco.Resolution_fallback -> ()
+      end
+    done
+  done;
+  Alcotest.(check bool) "self trivial" true (Disco.classify_first d ~src:3 ~dst:3 = Disco.Trivial)
+
+let test_first_packet_case_consistency () =
+  let g, d = build 9 in
+  ignore g;
+  let _, case = Disco.route_first_case d ~src:0 ~dst:1 in
+  Alcotest.(check bool) "case matches classify" true (case = Disco.classify_first d ~src:0 ~dst:1)
+
+let test_state_entries_parts () =
+  let g, d = build 11 in
+  let nd = d.Disco.nd in
+  for v = 0 to min 20 (Graph.n g - 1) do
+    let det = Disco.state_entries d v in
+    Alcotest.(check int) "group entries" (Core.Groups.state_entries d.Disco.groups v)
+      det.Disco.group_entries;
+    Alcotest.(check int) "overlay neighbors" (Core.Overlay.degree d.Disco.overlay v)
+      det.Disco.overlay_neighbors;
+    Alcotest.(check bool) "total >= nd total" true
+      (Disco.total_entries det >= Core.Nddisco.total_entries det.Disco.nd_detail);
+    if not nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark.(v) then
+      Alcotest.(check int) "no resolution load off landmarks" 0
+        det.Disco.nd_detail.Core.Nddisco.resolution_entries
+  done
+
+let test_state_bytes_positive_and_ordered () =
+  let g, d = build 13 in
+  for v = 0 to min 10 (Graph.n g - 1) do
+    let b4 = Disco.state_bytes d ~name_bytes:4 v in
+    let b16 = Disco.state_bytes d ~name_bytes:16 v in
+    Alcotest.(check bool) "positive" true (b4 > 0.0);
+    Alcotest.(check bool) "ipv6 names cost more" true (b16 > b4)
+  done
+
+let test_fallback_routes_correctly () =
+  (* Force fallbacks by giving every node a wildly wrong estimate of n so
+     groups shatter; routing must still succeed via the resolution DB. *)
+  let g = Helpers.random_graph ~n_min:60 ~n_max:61 15 in
+  let n = Graph.n g in
+  let rng = Rng.create 15 in
+  let nd = Core.Nddisco.build ~rng g in
+  let groups =
+    Core.Groups.build_with_estimates ~hashes:nd.Core.Nddisco.hashes
+      ~n_estimates:(Array.init n (fun v -> if v mod 2 = 0 then 4 else 1 lsl 20))
+  in
+  let d = Disco.of_nddisco ~rng ~groups nd in
+  for s = 0 to min 15 (n - 1) do
+    for t = 0 to min 15 (n - 1) do
+      if s <> t then Helpers.check_path g ~src:s ~dst:t (Disco.route_first d ~src:s ~dst:t)
+    done
+  done
+
+let test_heuristics_all_valid () =
+  let g, d = build 17 in
+  List.iter
+    (fun h ->
+      for s = 0 to min 6 (Graph.n g - 1) do
+        for t = 0 to min 6 (Graph.n g - 1) do
+          if s <> t then
+            Helpers.check_path g ~src:s ~dst:t (Disco.route_first ~heuristic:h d ~src:s ~dst:t)
+        done
+      done)
+    Core.Shortcut.all
+
+let suite =
+  [
+    Alcotest.test_case "routes are paths" `Quick test_routes_are_paths;
+    prop_theorem1_first_packet;
+    prop_theorem1_later_packets;
+    Alcotest.test_case "classify cases" `Quick test_classify_cases;
+    Alcotest.test_case "route_first_case consistent" `Quick test_first_packet_case_consistency;
+    Alcotest.test_case "state entry parts" `Quick test_state_entries_parts;
+    Alcotest.test_case "state bytes ordered" `Quick test_state_bytes_positive_and_ordered;
+    Alcotest.test_case "fallback routes correctly" `Quick test_fallback_routes_correctly;
+    Alcotest.test_case "all heuristics valid" `Quick test_heuristics_all_valid;
+  ]

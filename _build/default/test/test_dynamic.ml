@@ -1,0 +1,239 @@
+(* The dynamic, event-driven protocol: cold-start convergence, join,
+   fail-stop leave, landmark loss, and estimate-driven landmark churn —
+   the "dynamic distributed setting" of the paper's title, including the
+   continuous-churn behaviour §5 defers to future work. *)
+
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Network = Disco_dynamic.Network
+
+let make ?(n = 64) ?(seed = 3) () =
+  let rng = Rng.create seed in
+  let graph = Disco_graph.Gen.gnm ~rng ~n ~m:(4 * n) in
+  let net = Network.create ~rng ~graph ~n_estimate:n () in
+  (graph, net)
+
+let sample_pairs ?(count = 60) ~n seed =
+  let rng = Rng.create (seed * 77) in
+  List.init count (fun _ ->
+      let s = Rng.int rng n and d = Rng.int rng n in
+      (s, d))
+  |> List.filter (fun (s, d) -> s <> d)
+
+let converge net at = Network.run_until net at
+
+let test_cold_start_full_reachability () =
+  let graph, net = make () in
+  Network.activate_all net;
+  converge net 400.0;
+  let n = Graph.n graph in
+  let pairs = sample_pairs ~n 1 in
+  let frac = Network.reachable_fraction net ~pairs in
+  Alcotest.(check (float 1e-9)) "all sampled pairs deliverable" 1.0 frac
+
+let test_cold_start_routes_valid () =
+  let graph, net = make ~seed:5 () in
+  Network.activate_all net;
+  converge net 400.0;
+  let n = Graph.n graph in
+  List.iter
+    (fun (s, d) ->
+      match Network.route net ~src:s ~dst:d with
+      | None -> Alcotest.failf "%d -> %d unroutable" s d
+      | Some p -> Helpers.check_path graph ~src:s ~dst:d p)
+    (sample_pairs ~n 2)
+
+let test_stretch_bounded () =
+  let graph, net = make ~seed:7 () in
+  Network.activate_all net;
+  converge net 400.0;
+  let n = Graph.n graph in
+  let ws = Dijkstra.make_workspace graph in
+  List.iter
+    (fun (s, d) ->
+      match Network.route net ~src:s ~dst:d with
+      | None -> Alcotest.failf "%d -> %d unroutable" s d
+      | Some p ->
+          let shortest = (Dijkstra.sssp ~ws graph s).Dijkstra.dist.(d) in
+          let stretch = Helpers.path_len graph p /. shortest in
+          if stretch > 7.0 +. 1e-9 then
+            Alcotest.failf "%d -> %d stretch %.2f" s d stretch)
+    (sample_pairs ~n 3)
+
+let test_state_bounded () =
+  let graph, net = make ~seed:9 () in
+  Network.activate_all net;
+  converge net 400.0;
+  let n = Graph.n graph in
+  let k = Disco_core.Params.vicinity_size Disco_core.Params.default ~n in
+  let landmarks = Network.landmark_count net in
+  Alcotest.(check bool)
+    (Printf.sprintf "landmark count %d plausible" landmarks)
+    true
+    (landmarks >= 3 && landmarks < n / 2);
+  for v = 0 to n - 1 do
+    let size = Network.route_table_size net v in
+    (* routes (k + landmarks) + group addresses (<= group size) +
+       resolution share; generous upper bound that still excludes
+       anything O(n)-ish at this scale. *)
+    let bound = k + landmarks + n / 2 + 10 in
+    if size > bound then Alcotest.failf "node %d holds %d > %d entries" v size bound
+  done
+
+let test_addresses_present () =
+  let graph, net = make ~seed:11 () in
+  Network.activate_all net;
+  converge net 400.0;
+  for v = 0 to Graph.n graph - 1 do
+    match Network.address_of net v with
+    | None -> Alcotest.failf "node %d has no address" v
+    | Some addr ->
+        let path = addr.Disco_dynamic.Msg.lm_path in
+        Alcotest.(check bool) "address route ends at node" true
+          (List.nth path (List.length path - 1) = v);
+        Alcotest.(check int) "address route starts at landmark"
+          addr.Disco_dynamic.Msg.lm (List.hd path)
+  done
+
+let test_late_join () =
+  let graph, net = make ~seed:13 () in
+  let n = Graph.n graph in
+  let newcomer = 17 in
+  for v = 0 to n - 1 do
+    if v <> newcomer then Network.activate net v
+  done;
+  converge net 400.0;
+  Alcotest.(check bool) "inactive unroutable" true
+    (Network.route net ~src:0 ~dst:newcomer = None);
+  Network.activate net newcomer;
+  converge net 800.0;
+  (match Network.route net ~src:0 ~dst:newcomer with
+  | None -> Alcotest.fail "newcomer unreachable after join"
+  | Some p -> Helpers.check_path graph ~src:0 ~dst:newcomer p);
+  match Network.route net ~src:newcomer ~dst:(n - 1) with
+  | None -> Alcotest.fail "newcomer cannot send"
+  | Some p -> Helpers.check_path graph ~src:newcomer ~dst:(n - 1) p
+
+let test_fail_stop_leave () =
+  let graph, net = make ~seed:15 () in
+  let n = Graph.n graph in
+  Network.activate_all net;
+  converge net 400.0;
+  (* Pick a non-landmark casualty so this test isolates route repair from
+     landmark re-selection (covered by the next test). *)
+  let casualty =
+    let rec find v = if Network.is_landmark net v then find (v + 1) else v in
+    find 20
+  in
+  Network.deactivate net casualty;
+  converge net 900.0; (* past hello + route + address expiry *)
+  Alcotest.(check bool) "dead node unroutable" true
+    (Network.route net ~src:0 ~dst:casualty = None);
+  let pairs =
+    sample_pairs ~n 4 |> List.filter (fun (s, d) -> s <> casualty && d <> casualty)
+  in
+  let frac = Network.reachable_fraction net ~pairs in
+  Alcotest.(check (float 1e-9)) "survivors fully connected" 1.0 frac
+
+let test_landmark_failure () =
+  let graph, net = make ~seed:17 () in
+  let n = Graph.n graph in
+  Network.activate_all net;
+  converge net 400.0;
+  (* Kill a landmark: addresses anchored at it must re-anchor. *)
+  let lm =
+    let rec find v = if Network.is_landmark net v then v else find (v + 1) in
+    find 0
+  in
+  Network.deactivate net lm;
+  converge net 1000.0;
+  for v = 0 to min 20 (n - 1) do
+    if v <> lm then begin
+      match Network.address_of net v with
+      | None -> Alcotest.failf "node %d lost its address" v
+      | Some addr ->
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d re-anchored off dead landmark" v)
+            true
+            (addr.Disco_dynamic.Msg.lm <> lm)
+    end
+  done;
+  let pairs = sample_pairs ~n 5 |> List.filter (fun (s, d) -> s <> lm && d <> lm) in
+  Alcotest.(check (float 1e-9)) "reachability restored" 1.0
+    (Network.reachable_fraction net ~pairs)
+
+let test_estimate_hysteresis () =
+  let graph, net = make ~seed:19 () in
+  let n = Graph.n graph in
+  Network.activate_all net;
+  converge net 200.0;
+  let before = Network.landmark_count net in
+  (* Small drift: no landmark may flip. *)
+  for v = 0 to n - 1 do
+    Network.set_estimate net v ~n:(n + (n / 4))
+  done;
+  Alcotest.(check int) "no flips within factor 2" before (Network.landmark_count net);
+  (* Big jump: re-draws happen (counts change with overwhelming
+     probability for 64 nodes; equality would mean zero redraws). *)
+  for v = 0 to n - 1 do
+    Network.set_estimate net v ~n:(n * 8)
+  done;
+  converge net 600.0;
+  let pairs = sample_pairs ~n 6 in
+  Alcotest.(check (float 1e-9)) "still fully routable after churn" 1.0
+    (Network.reachable_fraction net ~pairs)
+
+let test_messages_flow () =
+  let _, net = make ~seed:21 () in
+  Network.activate_all net;
+  converge net 100.0;
+  Alcotest.(check bool) "protocol chatter happened" true (Network.messages_sent net > 0)
+
+let prop_cold_start_converges =
+  Helpers.qtest "cold start converges on random topologies" ~count:5
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 48 + (seed mod 32) in
+      let graph = Disco_graph.Gen.gnm ~rng ~n ~m:(4 * n) in
+      let net = Network.create ~rng ~graph ~n_estimate:n () in
+      Network.activate_all net;
+      Network.run_until net 400.0;
+      let pairs = sample_pairs ~count:25 ~n seed in
+      Network.reachable_fraction net ~pairs = 1.0)
+
+let prop_survives_one_failure =
+  Helpers.qtest "any single fail-stop is repaired" ~count:5
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 48 in
+      let graph = Disco_graph.Gen.gnm ~rng ~n ~m:(4 * n) in
+      let net = Network.create ~rng ~graph ~n_estimate:n () in
+      Network.activate_all net;
+      Network.run_until net 400.0;
+      let casualty = seed mod n in
+      Network.deactivate net casualty;
+      Network.run_until net 1200.0;
+      let pairs =
+        sample_pairs ~count:25 ~n seed
+        |> List.filter (fun (s, d) -> s <> casualty && d <> casualty)
+      in
+      Network.reachable_fraction net ~pairs = 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "cold start reaches all pairs" `Slow test_cold_start_full_reachability;
+    prop_cold_start_converges;
+    prop_survives_one_failure;
+    Alcotest.test_case "routes are valid paths" `Slow test_cold_start_routes_valid;
+    Alcotest.test_case "stretch bounded" `Slow test_stretch_bounded;
+    Alcotest.test_case "state bounded" `Slow test_state_bounded;
+    Alcotest.test_case "addresses present" `Slow test_addresses_present;
+    Alcotest.test_case "late join" `Slow test_late_join;
+    Alcotest.test_case "fail-stop leave" `Slow test_fail_stop_leave;
+    Alcotest.test_case "landmark failure" `Slow test_landmark_failure;
+    Alcotest.test_case "estimate hysteresis" `Slow test_estimate_hysteresis;
+    Alcotest.test_case "messages flow" `Quick test_messages_flow;
+  ]

@@ -1,0 +1,98 @@
+module Graph = Disco_graph.Graph
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+
+let test_gnm_shape () =
+  let rng = Rng.create 1 in
+  let g = Gen.gnm ~rng ~n:200 ~m:800 in
+  Alcotest.(check int) "n" 200 (Graph.n g);
+  Alcotest.(check bool) "m >= requested (stitching may add)" true (Graph.m g >= 800);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  List.iter
+    (fun (_, _, w) -> Alcotest.(check (float 1e-9)) "unit weight" 1.0 w)
+    (Graph.edges g)
+
+let test_gnm_deterministic () =
+  let g1 = Gen.gnm ~rng:(Rng.create 5) ~n:100 ~m:300 in
+  let g2 = Gen.gnm ~rng:(Rng.create 5) ~n:100 ~m:300 in
+  Alcotest.(check bool) "same edges" true (Graph.edges g1 = Graph.edges g2)
+
+let test_geometric () =
+  let rng = Rng.create 2 in
+  let g = Gen.geometric ~rng ~n:300 ~avg_degree:8.0 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  let degrees = Array.init 300 (Graph.degree g) in
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 degrees) /. 300.0
+  in
+  Alcotest.(check bool) "roughly avg degree 8" true (mean > 4.0 && mean < 14.0);
+  List.iter
+    (fun (_, _, w) ->
+      Alcotest.(check bool) "euclidean weight in (0, sqrt 2]" true (w > 0.0 && w <= sqrt 2.0))
+    (Graph.edges g)
+
+let test_ring () =
+  let g = Gen.ring ~n:10 in
+  Alcotest.(check int) "m" 10 (Graph.m g);
+  for v = 0 to 9 do
+    Alcotest.(check int) "degree 2" 2 (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_grid () =
+  let g = Gen.grid ~rows:4 ~cols:5 in
+  Alcotest.(check int) "n" 20 (Graph.n g);
+  Alcotest.(check int) "m" ((3 * 5) + (4 * 4)) (Graph.m g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_star_of_stars () =
+  let g = Gen.star_of_stars ~branch:5 in
+  Alcotest.(check int) "n" 31 (Graph.n g);
+  Alcotest.(check int) "root degree" 5 (Graph.degree g 0);
+  (* Grandchildren hang off children at distance 2. *)
+  Alcotest.(check (option (float 1e-9))) "child link" (Some 1.0) (Graph.edge_weight g 0 1);
+  Alcotest.(check (option (float 1e-9))) "grandchild link" (Some 2.0) (Graph.edge_weight g 1 6)
+
+let test_power_law_tail () =
+  let rng = Rng.create 3 in
+  let g = Gen.power_law ~rng ~n:1000 ~attach:2 in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  let max_deg = Graph.max_degree g in
+  (* Preferential attachment must grow hubs far above the mean (~4). *)
+  Alcotest.(check bool) (Printf.sprintf "heavy tail (max=%d)" max_deg) true (max_deg > 25)
+
+let test_internet_kinds () =
+  List.iter
+    (fun kind ->
+      let rng = Rng.create 4 in
+      let g = Gen.by_kind ~rng kind ~n:500 in
+      Alcotest.(check int) (Gen.kind_name kind ^ " n") 500 (Graph.n g);
+      Alcotest.(check bool) (Gen.kind_name kind ^ " connected") true (Graph.is_connected g))
+    [ Gen.As_level; Gen.Router_level; Gen.Gnm; Gen.Geometric ]
+
+let test_kind_names_distinct () =
+  let names = List.map Gen.kind_name [ Gen.As_level; Gen.Router_level; Gen.Gnm; Gen.Geometric ] in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare names))
+
+let prop_generators_connected =
+  Helpers.qtest "all generators produce connected graphs" ~count:20 Helpers.seed_arb
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 32 + (seed mod 100) in
+      Graph.is_connected (Gen.gnm ~rng ~n ~m:(2 * n))
+      && Graph.is_connected (Gen.geometric ~rng ~n ~avg_degree:6.0)
+      && Graph.is_connected (Gen.power_law ~rng ~n ~attach:2))
+
+let suite =
+  [
+    Alcotest.test_case "gnm shape" `Quick test_gnm_shape;
+    Alcotest.test_case "gnm deterministic" `Quick test_gnm_deterministic;
+    Alcotest.test_case "geometric" `Quick test_geometric;
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "star of stars" `Quick test_star_of_stars;
+    Alcotest.test_case "power law tail" `Quick test_power_law_tail;
+    Alcotest.test_case "internet kinds" `Quick test_internet_kinds;
+    Alcotest.test_case "kind names distinct" `Quick test_kind_names_distinct;
+    prop_generators_connected;
+  ]

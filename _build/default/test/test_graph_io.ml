@@ -1,0 +1,76 @@
+module Graph = Disco_graph.Graph
+module Graph_io = Disco_graph.Graph_io
+
+let test_roundtrip_string () =
+  let g = Helpers.random_weighted_graph 17 in
+  let g' = Graph_io.of_string (Graph_io.to_string g) in
+  Alcotest.(check int) "n" (Graph.n g) (Graph.n g');
+  Alcotest.(check int) "m" (Graph.m g) (Graph.m g');
+  List.iter2
+    (fun (u, v, w) (u', v', w') ->
+      Alcotest.(check int) "u" u u';
+      Alcotest.(check int) "v" v v';
+      Alcotest.(check bool) "w" true (Float.abs (w -. w') < 1e-6))
+    (Graph.edges g) (Graph.edges g')
+
+let test_roundtrip_file () =
+  let g = Helpers.random_graph 23 in
+  let path = Filename.temp_file "disco" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.to_file path g;
+      let g' = Graph_io.of_file path in
+      Alcotest.(check bool) "same edges" true (Graph.edges g = Graph.edges g'))
+
+let test_comments_and_blanks () =
+  let g = Graph_io.of_string "# header\n\nn 3\n0 1 1.5\n# middle\n1 2 2.5\n" in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g)
+
+let test_missing_header () =
+  Alcotest.(check bool) "fails" true
+    (try
+       ignore (Graph_io.of_string "0 1 1.0\n");
+       false
+     with Failure _ -> true)
+
+let test_bad_edge () =
+  Alcotest.(check bool) "fails" true
+    (try
+       ignore (Graph_io.of_string "n 2\n0 x 1.0\n");
+       false
+     with Failure _ -> true)
+
+let test_empty_input () =
+  Alcotest.(check bool) "fails" true
+    (try
+       ignore (Graph_io.of_string "");
+       false
+     with Failure _ -> true)
+
+let test_to_dot () =
+  let g = Helpers.random_graph ~n_min:8 ~n_max:9 31 in
+  let dot = Graph_io.to_dot ~highlight:[ 0; 1 ] g in
+  Alcotest.(check bool) "has header" true (String.length dot > 20);
+  Alcotest.(check bool) "is a graph" true
+    (String.sub dot 0 11 = "graph disco");
+  (* Highlighted nodes are filled. *)
+  Alcotest.(check bool) "highlight present" true
+    (let re = "salmon" in
+     let rec find i =
+       i + String.length re <= String.length dot
+       && (String.sub dot i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let suite =
+  [
+    Alcotest.test_case "to_dot" `Quick test_to_dot;
+    Alcotest.test_case "roundtrip string" `Quick test_roundtrip_string;
+    Alcotest.test_case "roundtrip file" `Quick test_roundtrip_file;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "missing header" `Quick test_missing_header;
+    Alcotest.test_case "bad edge" `Quick test_bad_edge;
+    Alcotest.test_case "empty input" `Quick test_empty_input;
+  ]

@@ -1,0 +1,126 @@
+module Hash_space = Disco_hash.Hash_space
+module Groups = Disco_core.Groups
+module Name = Disco_core.Name
+
+let hashes n = Name.hash_array (Name.default_array n)
+
+let test_same_group_reflexive_symmetric () =
+  let g = Groups.build ~hashes:(hashes 64) ~bits:2 in
+  for v = 0 to 63 do
+    Alcotest.(check bool) "reflexive" true (Groups.same_group g v v);
+    for w = 0 to 63 do
+      Alcotest.(check bool) "symmetric" (Groups.same_group g v w) (Groups.same_group g w v)
+    done
+  done
+
+let test_group_id_matches_prefix () =
+  let h = hashes 32 in
+  let g = Groups.build ~hashes:h ~bits:3 in
+  for v = 0 to 31 do
+    Alcotest.(check int) "prefix" (Hash_space.prefix_bits h.(v) ~width:3) (Groups.group_id g v)
+  done
+
+let test_members_partition () =
+  let n = 128 in
+  let g = Groups.build ~hashes:(hashes n) ~bits:2 in
+  let total = ref 0 in
+  let seen = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    let gid = Groups.group_id g v in
+    if not (Hashtbl.mem seen gid) then begin
+      Hashtbl.add seen gid ();
+      total := !total + Array.length (Groups.members g v)
+    end
+  done;
+  Alcotest.(check int) "members partition all nodes" n !total
+
+let test_members_contain_self () =
+  let g = Groups.build ~hashes:(hashes 50) ~bits:2 in
+  for v = 0 to 49 do
+    Alcotest.(check bool) "self in members" true (Array.mem v (Groups.members g v))
+  done
+
+let test_state_entries_exact () =
+  let n = 100 in
+  let g = Groups.build ~hashes:(hashes n) ~bits:1 in
+  for v = 0 to n - 1 do
+    Alcotest.(check int) "entries = |G(v)|-1"
+      (Array.length (Groups.members g v) - 1)
+      (Groups.state_entries g v)
+  done
+
+let test_bits_zero_single_group () =
+  let n = 20 in
+  let g = Groups.build ~hashes:(hashes n) ~bits:0 in
+  Alcotest.(check int) "one group" 1 (Groups.group_count g);
+  Alcotest.(check int) "everyone" n (Array.length (Groups.members g 0));
+  Alcotest.(check bool) "all same" true (Groups.same_group g 3 17)
+
+let test_group_count () =
+  let g = Groups.build ~hashes:(hashes 2000) ~bits:3 in
+  Alcotest.(check int) "2^3 groups at this size" 8 (Groups.group_count g)
+
+let test_estimates_disagreement () =
+  let n = 256 in
+  let h = hashes n in
+  (* Half the nodes believe n is tiny (coarse groups), half exact. *)
+  let estimates = Array.init n (fun v -> if v mod 2 = 0 then 8 else n) in
+  let g = Groups.build_with_estimates ~hashes:h ~n_estimates:estimates in
+  (* Mutual membership requires both to agree; a coarse-grouped node may
+     accept a fine-grouped node that rejects it back. *)
+  let asym = ref 0 in
+  for v = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      if Groups.believes g v w && not (Groups.believes g w v) then incr asym
+    done
+  done;
+  Alcotest.(check bool) "asymmetry exists under disagreement" true (!asym > 0);
+  for v = 0 to n - 1 do
+    for w = 0 to n - 1 do
+      Alcotest.(check bool) "same_group still symmetric"
+        (Groups.same_group g v w) (Groups.same_group g w v)
+    done
+  done
+
+let test_storers_subset_members () =
+  let n = 200 in
+  let h = hashes n in
+  let estimates = Array.init n (fun v -> if v mod 3 = 0 then 32 else n) in
+  let g = Groups.build_with_estimates ~hashes:h ~n_estimates:estimates in
+  for v = 0 to n - 1 do
+    let members = Groups.members g v in
+    Array.iter
+      (fun s -> Alcotest.(check bool) "storer is member" true (Array.mem s members))
+      (Groups.storers g v)
+  done
+
+let prop_same_prefix_same_group =
+  Helpers.qtest "same group iff equal prefixes" ~count:50
+    QCheck.(pair (int_range 0 8) (int_range 2 300))
+    (fun (bits, n) ->
+      let h = hashes n in
+      let g = Groups.build ~hashes:h ~bits in
+      let ok = ref true in
+      for i = 0 to 30 do
+        let v = i * 7 mod n and w = (i * 13) + 1 in
+        let w = w mod n in
+        let expected =
+          Hash_space.prefix_bits h.(v) ~width:bits = Hash_space.prefix_bits h.(w) ~width:bits
+        in
+        if Groups.same_group g v w <> expected then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "same_group reflexive+symmetric" `Quick test_same_group_reflexive_symmetric;
+    Alcotest.test_case "group id = hash prefix" `Quick test_group_id_matches_prefix;
+    Alcotest.test_case "members partition" `Quick test_members_partition;
+    Alcotest.test_case "members contain self" `Quick test_members_contain_self;
+    Alcotest.test_case "state entries exact" `Quick test_state_entries_exact;
+    Alcotest.test_case "bits=0 single group" `Quick test_bits_zero_single_group;
+    Alcotest.test_case "group count" `Quick test_group_count;
+    Alcotest.test_case "estimate disagreement" `Quick test_estimates_disagreement;
+    Alcotest.test_case "storers subset of members" `Quick test_storers_subset_members;
+    prop_same_prefix_same_group;
+  ]

@@ -1,0 +1,122 @@
+module Fnv = Disco_hash.Fnv
+module Hash_space = Disco_hash.Hash_space
+module Consistent_hash = Disco_hash.Consistent_hash
+
+let test_fnv_vectors () =
+  (* Published FNV-1a 64-bit vectors. *)
+  Alcotest.(check int64) "empty" 0xcbf29ce484222325L (Fnv.hash "");
+  Alcotest.(check int64) "a" 0xaf63dc4c8601ec8cL (Fnv.hash "a");
+  Alcotest.(check int64) "foobar" 0x85944171f73967e8L (Fnv.hash "foobar")
+
+let test_fnv_seeded () =
+  Alcotest.(check bool) "seeds differ" true
+    (Fnv.hash_with_seed 1 "x" <> Fnv.hash_with_seed 2 "x")
+
+let test_prefix_bits () =
+  let h = 0xF000000000000000L in
+  Alcotest.(check int) "top 4 bits" 0xF (Hash_space.prefix_bits h ~width:4);
+  Alcotest.(check int) "width 0" 0 (Hash_space.prefix_bits h ~width:0);
+  Alcotest.(check int) "top 1 bit" 1 (Hash_space.prefix_bits h ~width:1)
+
+let test_common_prefix_len () =
+  Alcotest.(check int) "identical" 64 (Hash_space.common_prefix_len 5L 5L);
+  Alcotest.(check int) "differ at top" 0
+    (Hash_space.common_prefix_len 0L Int64.min_int);
+  Alcotest.(check int) "63 shared" 63 (Hash_space.common_prefix_len 0L 1L)
+
+let test_ring_distance () =
+  Alcotest.(check int64) "self" 0L (Hash_space.ring_distance 10L 10L);
+  Alcotest.(check int64) "forward" 5L (Hash_space.ring_distance 10L 15L);
+  Alcotest.(check int64) "symmetric" (Hash_space.ring_distance 15L 10L)
+    (Hash_space.ring_distance 10L 15L);
+  (* Wraparound: distance between 0 and 2^64-1 is 1. *)
+  Alcotest.(check int64) "wraparound" 1L (Hash_space.ring_distance 0L (-1L))
+
+let test_group_size_bits_monotone () =
+  let k1 = Hash_space.group_size_bits ~n_estimate:1024 in
+  let k2 = Hash_space.group_size_bits ~n_estimate:16384 in
+  let k3 = Hash_space.group_size_bits ~n_estimate:192_244 in
+  Alcotest.(check bool) "monotone in n" true (k1 <= k2 && k2 <= k3);
+  Alcotest.(check int) "tiny n" 0 (Hash_space.group_size_bits ~n_estimate:2);
+  (* Values the evaluation relies on (see EXPERIMENTS.md); 192,244 is the
+     paper's router-level map size, where the measured group state implies
+     64 groups. *)
+  Alcotest.(check int) "n=1024" 3 k1;
+  Alcotest.(check int) "n=16384" 5 k2;
+  Alcotest.(check int) "n=192244" 6 k3
+
+let test_of_name_deterministic () =
+  Alcotest.(check int64) "deterministic" (Hash_space.of_name "n1") (Hash_space.of_name "n1");
+  Alcotest.(check bool) "names differ" true
+    (Hash_space.of_name "n1" <> Hash_space.of_name "n2")
+
+let make_ring ?(replicas = 1) k =
+  let owners = Array.init k Fun.id in
+  Consistent_hash.create ~replicas ~owners ~owner_name:(fun o -> Printf.sprintf "lm%d" o) ()
+
+let test_ch_owner_is_member () =
+  let ring = make_ring 7 in
+  for i = 0 to 200 do
+    let o = Consistent_hash.owner_of_name ring (Printf.sprintf "key%d" i) in
+    Alcotest.(check bool) "owner in set" true (o >= 0 && o < 7)
+  done
+
+let test_ch_deterministic () =
+  let r1 = make_ring 7 and r2 = make_ring 7 in
+  for i = 0 to 50 do
+    let k = Printf.sprintf "key%d" i in
+    Alcotest.(check int) "same owner" (Consistent_hash.owner_of_name r1 k)
+      (Consistent_hash.owner_of_name r2 k)
+  done
+
+let test_ch_all_owners_used () =
+  let ring = make_ring 4 in
+  let keys = Array.init 2000 (fun i -> Hash_space.of_name (Printf.sprintf "k%d" i)) in
+  let loads = Consistent_hash.load_counts ring ~keys in
+  List.iter
+    (fun (o, c) ->
+      Alcotest.(check bool) (Printf.sprintf "owner %d used" o) true (c > 0))
+    loads;
+  Alcotest.(check int) "loads sum to keys" 2000
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 loads)
+
+let test_ch_replicas_balance () =
+  let keys = Array.init 4000 (fun i -> Hash_space.of_name (Printf.sprintf "k%d" i)) in
+  let imbalance replicas =
+    let ring = make_ring ~replicas 8 in
+    let loads = Consistent_hash.load_counts ring ~keys in
+    let max_load = List.fold_left (fun acc (_, c) -> max acc c) 0 loads in
+    float_of_int max_load /. (4000.0 /. 8.0)
+  in
+  (* Theorem 2: multiple hash functions reduce the load imbalance. *)
+  Alcotest.(check bool) "more replicas, flatter" true (imbalance 32 < imbalance 1)
+
+let test_ch_consistency_under_removal () =
+  (* Removing one owner must only remap that owner's keys. *)
+  let owners_full = Array.init 6 Fun.id in
+  let owners_less = Array.of_list [ 0; 1; 2; 3; 4 ] in
+  let name o = Printf.sprintf "lm%d" o in
+  let full = Consistent_hash.create ~owners:owners_full ~owner_name:name () in
+  let less = Consistent_hash.create ~owners:owners_less ~owner_name:name () in
+  for i = 0 to 500 do
+    let key = Hash_space.of_name (Printf.sprintf "key%d" i) in
+    let before = Consistent_hash.owner_of full key in
+    if before <> 5 then
+      Alcotest.(check int) "stable key" before (Consistent_hash.owner_of less key)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fnv vectors" `Quick test_fnv_vectors;
+    Alcotest.test_case "fnv seeded" `Quick test_fnv_seeded;
+    Alcotest.test_case "prefix bits" `Quick test_prefix_bits;
+    Alcotest.test_case "common prefix length" `Quick test_common_prefix_len;
+    Alcotest.test_case "ring distance" `Quick test_ring_distance;
+    Alcotest.test_case "group size bits" `Quick test_group_size_bits_monotone;
+    Alcotest.test_case "of_name deterministic" `Quick test_of_name_deterministic;
+    Alcotest.test_case "consistent hash: owner valid" `Quick test_ch_owner_is_member;
+    Alcotest.test_case "consistent hash: deterministic" `Quick test_ch_deterministic;
+    Alcotest.test_case "consistent hash: all owners used" `Quick test_ch_all_owners_used;
+    Alcotest.test_case "consistent hash: replicas balance" `Quick test_ch_replicas_balance;
+    Alcotest.test_case "consistent hash: removal is local" `Quick test_ch_consistency_under_removal;
+  ]

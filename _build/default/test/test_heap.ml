@@ -1,0 +1,76 @@
+module Heap = Disco_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = List.init 5 (fun _ -> match Heap.pop h with Some (p, _) -> p | None -> nan) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] out
+
+let test_tie_break_fifo () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "first";
+  Heap.push h 1.0 "second";
+  Heap.push h 1.0 "third";
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "fifo 1" "first" (pop ());
+  Alcotest.(check string) "fifo 2" "second" (pop ());
+  Alcotest.(check string) "fifo 3" "third" (pop ())
+
+let test_peek_not_destructive () =
+  let h = Heap.create () in
+  Heap.push h 2.0 'a';
+  Alcotest.(check bool) "peek" true (Heap.peek h = Some (2.0, 'a'));
+  Alcotest.(check int) "size unchanged" 1 (Heap.size h)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.push h (float_of_int i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.push h 1.0 1;
+  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (1.0, 1))
+
+let prop_sorted =
+  Helpers.qtest "pops come out sorted" ~count:200
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p p) priorities;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let prop_size =
+  Helpers.qtest "size tracks pushes and pops" ~count:100
+    QCheck.(list (float_range 0.0 10.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p ()) priorities;
+      let n = List.length priorities in
+      Heap.size h = n
+      &&
+      (ignore (Heap.pop h);
+       Heap.size h = max 0 (n - 1)))
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "tie break is FIFO" `Quick test_tie_break_fifo;
+    Alcotest.test_case "peek not destructive" `Quick test_peek_not_destructive;
+    Alcotest.test_case "clear" `Quick test_clear;
+    prop_sorted;
+    prop_size;
+  ]

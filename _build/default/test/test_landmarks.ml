@@ -1,0 +1,92 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Landmarks = Disco_core.Landmarks
+module Params = Disco_core.Params
+module Rng = Disco_util.Rng
+
+let test_select_count () =
+  let rng = Rng.create 3 in
+  let n = 4096 in
+  let flags = Landmarks.select ~rng ~params:Params.default ~n in
+  let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 flags in
+  (* E[count] = sqrt(n log2 n) ~ 222; allow generous slack. *)
+  Alcotest.(check bool) (Printf.sprintf "count=%d near 222" count) true
+    (count > 140 && count < 320)
+
+let test_select_never_empty () =
+  for seed = 1 to 50 do
+    let rng = Rng.create seed in
+    let flags = Landmarks.select ~rng ~params:Params.default ~n:4 in
+    Alcotest.(check bool) "at least one" true (Array.exists Fun.id flags)
+  done
+
+let test_assign_nearest () =
+  let g = Helpers.random_weighted_graph 9 in
+  let n = Graph.n g in
+  let ids = [| 0; n / 2 |] in
+  let lm = Landmarks.of_ids g ids in
+  for v = 0 to n - 1 do
+    let d0 = Dijkstra.distance g v 0 in
+    let d1 = Dijkstra.distance g v (n / 2) in
+    let want = min d0 d1 in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d nearest dist" v)
+      true
+      (Float.abs (lm.Landmarks.dist.(v) -. want) < 1e-9);
+    Alcotest.(check bool) "nearest is a landmark" true
+      lm.Landmarks.is_landmark.(lm.Landmarks.nearest.(v))
+  done
+
+let test_address_route_endpoints () =
+  let g = Helpers.random_graph 11 in
+  let lm = Landmarks.of_ids g [| 0 |] in
+  for v = 0 to Graph.n g - 1 do
+    let route = Landmarks.address_route lm v in
+    Alcotest.(check int) "starts at landmark" lm.Landmarks.nearest.(v) (List.hd route);
+    Alcotest.(check int) "ends at node" v (List.nth route (List.length route - 1));
+    Helpers.check_path g ~src:lm.Landmarks.nearest.(v) ~dst:v route;
+    Alcotest.(check bool) "length = landmark dist" true
+      (Float.abs (Helpers.path_len g route -. lm.Landmarks.dist.(v)) < 1e-9)
+  done
+
+let test_landmark_self () =
+  let g = Helpers.random_graph 13 in
+  let lm = Landmarks.of_ids g [| 2 |] in
+  Alcotest.(check int) "own nearest" 2 lm.Landmarks.nearest.(2);
+  Alcotest.(check (float 1e-9)) "zero distance" 0.0 lm.Landmarks.dist.(2);
+  Alcotest.(check (list int)) "trivial route" [ 2 ] (Landmarks.address_route lm 2)
+
+let test_count () =
+  let g = Helpers.random_graph 15 in
+  let lm = Landmarks.of_ids g [| 0; 1; 2 |] in
+  Alcotest.(check int) "count" 3 (Landmarks.count lm)
+
+let prop_nearest_is_min =
+  Helpers.qtest "nearest landmark minimizes distance" ~count:20 Helpers.seed_arb
+    (fun seed ->
+      let g = Helpers.random_weighted_graph seed in
+      let n = Graph.n g in
+      let rng = Rng.create seed in
+      let ids =
+        Rng.sample_without_replacement rng (1 + (seed mod 4)) n
+      in
+      let lm = Landmarks.of_ids g ids in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        Array.iter
+          (fun l ->
+            if Dijkstra.distance g v l < lm.Landmarks.dist.(v) -. 1e-9 then ok := false)
+          ids
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "select count" `Quick test_select_count;
+    Alcotest.test_case "select never empty" `Quick test_select_never_empty;
+    Alcotest.test_case "assign nearest" `Quick test_assign_nearest;
+    Alcotest.test_case "address route endpoints" `Quick test_address_route_endpoints;
+    Alcotest.test_case "landmark self" `Quick test_landmark_self;
+    Alcotest.test_case "count" `Quick test_count;
+    prop_nearest_is_min;
+  ]

@@ -1,0 +1,169 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Pathvector = Disco_pathvector.Pathvector
+
+let check_full_tables g =
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let n = Graph.n g in
+  for s = 0 to n - 1 do
+    let sp = Dijkstra.sssp g s in
+    for t = 0 to n - 1 do
+      if t <> s && sp.Dijkstra.dist.(t) < infinity then begin
+        match Hashtbl.find_opt r.Pathvector.tables.(s) t with
+        | None -> Alcotest.failf "node %d missing route to %d" s t
+        | Some route ->
+            if Float.abs (route.Pathvector.dist -. sp.Dijkstra.dist.(t)) > 1e-9 then
+              Alcotest.failf "node %d route to %d: %f <> %f" s t route.Pathvector.dist
+                sp.Dijkstra.dist.(t)
+      end
+    done
+  done;
+  r
+
+let test_full_converges_to_shortest () =
+  ignore (check_full_tables (Helpers.random_graph ~n_min:10 ~n_max:30 3))
+
+let test_full_weighted () =
+  ignore (check_full_tables (Helpers.random_weighted_graph 5))
+
+let test_paths_are_real () =
+  let g = Helpers.random_graph ~n_min:10 ~n_max:25 7 in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  Array.iteri
+    (fun s table ->
+      Hashtbl.iter
+        (fun t route ->
+          Helpers.check_path g ~src:s ~dst:t route.Pathvector.path;
+          Alcotest.(check bool) "dist = path length" true
+            (Float.abs (Helpers.path_len g route.Pathvector.path -. route.Pathvector.dist)
+            < 1e-9))
+        table)
+    r.Pathvector.tables
+
+let test_messages_positive () =
+  let g = Helpers.random_graph 11 in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  Alcotest.(check bool) "messages flowed" true (r.Pathvector.total_messages > 0);
+  Alcotest.(check int) "per-node sums to total" r.Pathvector.total_messages
+    (Array.fold_left ( + ) 0 r.Pathvector.messages_by_node);
+  (* A non-forgetful control plane retains at least one announcement per
+     route the data plane keeps (Theorem 2's delta factor). *)
+  let sizes = Pathvector.table_sizes r in
+  Array.iteri
+    (fun v rib ->
+      Alcotest.(check bool) "adj rib >= table" true (rib >= sizes.(v)))
+    r.Pathvector.adj_rib_entries
+
+let landmark_flags g ids =
+  let flags = Array.make (Graph.n g) false in
+  List.iter (fun v -> flags.(v) <- true) ids;
+  flags
+
+let test_vicinity_mode_respects_k () =
+  let g = Helpers.random_graph ~n_min:20 ~n_max:40 13 in
+  let flags = landmark_flags g [ 0 ] in
+  let k = 5 in
+  let r =
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+  in
+  Array.iteri
+    (fun v table ->
+      let non_landmark = ref 0 in
+      Hashtbl.iter (fun d _ -> if not flags.(d) then incr non_landmark) table;
+      if !non_landmark > k then
+        Alcotest.failf "node %d has %d > %d vicinity routes" v !non_landmark k)
+    r.Pathvector.tables
+
+let test_vicinity_mode_finds_k_closest () =
+  let g = Helpers.random_weighted_graph 17 in
+  let flags = landmark_flags g [ 0 ] in
+  let k = 6 in
+  let r =
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+  in
+  (* The converged vicinity distances must equal the k smallest true
+     distances (multiset equality; boundary ties may pick either node). *)
+  let n = Graph.n g in
+  for v = 0 to min 9 (n - 1) do
+    let sp = Dijkstra.sssp g v in
+    (* Candidates for vicinity slots: non-landmark nodes other than v. *)
+    let truth =
+      List.init n Fun.id
+      |> List.filter (fun t -> t <> v && not flags.(t))
+      |> List.map (fun t -> sp.Dijkstra.dist.(t))
+      |> List.sort compare
+    in
+    let got = ref [] in
+    Hashtbl.iter
+      (fun d route -> if (not flags.(d)) && d <> v then got := route.Pathvector.dist :: !got)
+      r.Pathvector.tables.(v);
+    let got = List.sort compare !got in
+    List.iteri
+      (fun i dist ->
+        let want = List.nth truth i in
+        if Float.abs (dist -. want) > 1e-9 then
+          Alcotest.failf "node %d: vicinity dist %d is %f, want %f" v i dist want)
+      got
+  done
+
+let test_landmarks_always_kept () =
+  let g = Helpers.random_graph ~n_min:15 ~n_max:30 19 in
+  let ids = [ 1; 3 ] in
+  let flags = landmark_flags g ids in
+  let r =
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k = 2 })
+  in
+  Array.iteri
+    (fun v table ->
+      List.iter
+        (fun lm ->
+          if v <> lm && not (Hashtbl.mem table lm) then
+            Alcotest.failf "node %d missing landmark %d" v lm)
+        ids)
+    r.Pathvector.tables
+
+let test_radius_mode_matches_clusters () =
+  let g = Helpers.random_weighted_graph 23 in
+  let n = Graph.n g in
+  let ids = [ 0; n / 2 ] in
+  let flags = landmark_flags g ids in
+  let multi = Dijkstra.multi_source g (Array.of_list ids) in
+  let radius = multi.Dijkstra.mdist in
+  let r =
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_radius { landmarks = flags; radius })
+  in
+  (* v holds a route to non-landmark w iff d(v,w) < d(w, l_w). Skip exact
+     boundaries (e.g. v = l_w, where d(v,w) = radius(w)): the protocol sums
+     edge weights in the opposite order from the oracle's Dijkstra, so the
+     strict comparison can go either way in the last float bit. *)
+  for v = 0 to n - 1 do
+    let sp = Dijkstra.sssp g v in
+    for w = 0 to n - 1 do
+      if w <> v && (not flags.(w)) && Float.abs (sp.Dijkstra.dist.(w) -. radius.(w)) > 1e-9
+      then begin
+        let should = sp.Dijkstra.dist.(w) < radius.(w) in
+        let has = Hashtbl.mem r.Pathvector.tables.(v) w in
+        if should <> has then
+          Alcotest.failf "cluster mismatch v=%d w=%d (want %b, got %b)" v w should has
+      end
+    done
+  done
+
+let test_table_sizes () =
+  let g = Helpers.random_graph 29 in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let sizes = Pathvector.table_sizes r in
+  Array.iter (fun s -> Alcotest.(check int) "full tables" (Graph.n g - 1) s) sizes
+
+let suite =
+  [
+    Alcotest.test_case "full mode converges to shortest paths" `Quick test_full_converges_to_shortest;
+    Alcotest.test_case "full mode on weighted graph" `Quick test_full_weighted;
+    Alcotest.test_case "paths are real paths" `Quick test_paths_are_real;
+    Alcotest.test_case "message accounting" `Quick test_messages_positive;
+    Alcotest.test_case "vicinity mode respects k" `Quick test_vicinity_mode_respects_k;
+    Alcotest.test_case "vicinity mode finds k closest" `Quick test_vicinity_mode_finds_k_closest;
+    Alcotest.test_case "landmarks always kept" `Quick test_landmarks_always_kept;
+    Alcotest.test_case "radius mode = S4 clusters" `Quick test_radius_mode_matches_clusters;
+    Alcotest.test_case "table sizes" `Quick test_table_sizes;
+  ]

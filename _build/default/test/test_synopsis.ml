@@ -1,0 +1,112 @@
+module Fm = Disco_synopsis.Fm_sketch
+module Diffusion = Disco_synopsis.Diffusion
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+
+let test_empty_estimate_small () =
+  let s = Fm.create ~buckets:32 in
+  Alcotest.(check bool) "near zero" true (Fm.estimate s < 64.0)
+
+let test_estimate_accuracy () =
+  List.iter
+    (fun n ->
+      let s = Fm.create ~buckets:64 in
+      for i = 1 to n do
+        Fm.add s (Printf.sprintf "element-%d" i)
+      done;
+      let e = Fm.estimate s in
+      let err = Float.abs (e -. float_of_int n) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d estimate=%.0f err=%.2f" n e err)
+        true (err < 0.5))
+    [ 256; 1024; 8192 ]
+
+let test_duplicate_insensitive () =
+  let a = Fm.create ~buckets:32 in
+  let b = Fm.create ~buckets:32 in
+  for i = 1 to 100 do
+    Fm.add a (string_of_int i);
+    Fm.add b (string_of_int i);
+    Fm.add b (string_of_int i) (* duplicates *)
+  done;
+  Alcotest.(check bool) "identical sketches" true (Fm.equal a b)
+
+let test_merge_is_union () =
+  let a = Fm.create ~buckets:32 and b = Fm.create ~buckets:32 in
+  let full = Fm.create ~buckets:32 in
+  for i = 1 to 200 do
+    Fm.add (if i mod 2 = 0 then a else b) (string_of_int i);
+    Fm.add full (string_of_int i)
+  done;
+  Fm.merge_into a b;
+  Alcotest.(check bool) "merge = union" true (Fm.equal a full)
+
+let test_merge_idempotent_commutative () =
+  let mk elems =
+    let s = Fm.create ~buckets:32 in
+    List.iter (Fm.add s) elems;
+    s
+  in
+  let a = mk [ "x"; "y" ] and b = mk [ "y"; "z" ] in
+  let ab = Fm.copy a in
+  Fm.merge_into ab b;
+  let ba = Fm.copy b in
+  Fm.merge_into ba a;
+  Alcotest.(check bool) "commutative" true (Fm.equal ab ba);
+  let abb = Fm.copy ab in
+  Fm.merge_into abb b;
+  Alcotest.(check bool) "idempotent" true (Fm.equal abb ab)
+
+let test_power_of_two_required () =
+  Alcotest.check_raises "buckets" (Invalid_argument "Fm_sketch.create: buckets must be a power of two")
+    (fun () -> ignore (Fm.create ~buckets:33))
+
+let test_size_mismatch_rejected () =
+  let a = Fm.create ~buckets:32 and b = Fm.create ~buckets:64 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Fm_sketch.merge_into: size mismatch")
+    (fun () -> Fm.merge_into a b)
+
+let test_byte_size () =
+  Alcotest.(check int) "256B at 64 buckets (the paper's synopsis size)" 256
+    (Fm.byte_size (Fm.create ~buckets:64))
+
+let test_diffusion_converges () =
+  let rng = Rng.create 5 in
+  let n = 256 in
+  let graph = Gen.gnm ~rng ~n ~m:(3 * n) in
+  let o = Diffusion.estimate_n ~graph ~node_name:Disco_core.Name.default ~buckets:64 () in
+  (* After enough rounds every node holds the global sketch: all estimates
+     equal, and within FM accuracy of the truth. *)
+  let first = o.Diffusion.estimates.(0) in
+  Array.iter
+    (fun e -> Alcotest.(check (float 1e-9)) "all nodes agree" first e)
+    o.Diffusion.estimates;
+  let err = Float.abs (first -. float_of_int n) /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "estimate %.0f within 40%%" first) true (err < 0.4);
+  Alcotest.(check bool) "messages counted" true (o.Diffusion.messages > 0)
+
+let test_diffusion_few_rounds_incomplete () =
+  let rng = Rng.create 7 in
+  let n = 256 in
+  (* On a ring, 1 round cannot reach everyone: estimates must disagree. *)
+  ignore rng;
+  let graph = Gen.ring ~n in
+  let o = Diffusion.estimate_n ~graph ~node_name:Disco_core.Name.default ~buckets:32 ~rounds:1 () in
+  let distinct =
+    Array.to_list o.Diffusion.estimates |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check bool) "not yet converged" true (distinct > 1)
+
+let suite =
+  [
+    Alcotest.test_case "empty estimate small" `Quick test_empty_estimate_small;
+    Alcotest.test_case "estimate accuracy" `Quick test_estimate_accuracy;
+    Alcotest.test_case "duplicate insensitive" `Quick test_duplicate_insensitive;
+    Alcotest.test_case "merge is union" `Quick test_merge_is_union;
+    Alcotest.test_case "merge idempotent+commutative" `Quick test_merge_idempotent_commutative;
+    Alcotest.test_case "power of two required" `Quick test_power_of_two_required;
+    Alcotest.test_case "size mismatch rejected" `Quick test_size_mismatch_rejected;
+    Alcotest.test_case "byte size" `Quick test_byte_size;
+    Alcotest.test_case "diffusion converges" `Quick test_diffusion_converges;
+    Alcotest.test_case "few rounds incomplete" `Quick test_diffusion_few_rounds_incomplete;
+  ]

@@ -1,0 +1,57 @@
+module Uf = Disco_util.Union_find
+
+let test_initial_singletons () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "count" 5 (Uf.count uf);
+  Alcotest.(check bool) "0 != 1" false (Uf.same uf 0 1)
+
+let test_union_merges () =
+  let uf = Uf.create 4 in
+  Alcotest.(check bool) "new union" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "same set" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "repeat is no-op" false (Uf.union uf 1 0);
+  Alcotest.(check int) "count" 3 (Uf.count uf)
+
+let test_transitivity () =
+  let uf = Uf.create 6 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 1 2);
+  ignore (Uf.union uf 3 4);
+  Alcotest.(check bool) "0 ~ 2" true (Uf.same uf 0 2);
+  Alcotest.(check bool) "3 ~ 4" true (Uf.same uf 3 4);
+  Alcotest.(check bool) "0 !~ 3" false (Uf.same uf 0 3);
+  Alcotest.(check int) "count" 3 (Uf.count uf)
+
+let test_find_canonical () =
+  let uf = Uf.create 8 in
+  for i = 0 to 6 do
+    ignore (Uf.union uf i (i + 1))
+  done;
+  let root = Uf.find uf 0 in
+  for i = 0 to 7 do
+    Alcotest.(check int) "one root" root (Uf.find uf i)
+  done;
+  Alcotest.(check int) "single set" 1 (Uf.count uf)
+
+let prop_count =
+  Helpers.qtest "count = n - successful unions" ~count:100
+    QCheck.(pair (int_range 2 40) (list (pair (int_range 0 39) (int_range 0 39))))
+    (fun (n, unions) ->
+      let uf = Uf.create n in
+      let successes =
+        List.fold_left
+          (fun acc (a, b) ->
+            let a = a mod n and b = b mod n in
+            if Uf.union uf a b then acc + 1 else acc)
+          0 unions
+      in
+      Uf.count uf = n - successes)
+
+let suite =
+  [
+    Alcotest.test_case "initial singletons" `Quick test_initial_singletons;
+    Alcotest.test_case "union merges" `Quick test_union_merges;
+    Alcotest.test_case "transitivity" `Quick test_transitivity;
+    Alcotest.test_case "find canonical" `Quick test_find_canonical;
+    prop_count;
+  ]

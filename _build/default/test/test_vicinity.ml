@@ -1,0 +1,119 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Vicinity = Disco_core.Vicinity
+
+let test_members_are_k_closest () =
+  let g = Helpers.random_weighted_graph 7 in
+  let k = 6 in
+  let vic = Vicinity.create g ~k in
+  let n = Graph.n g in
+  for v = 0 to n - 1 do
+    let vw = Vicinity.view vic v in
+    Alcotest.(check int) "size" (min k (n - 1)) (Array.length vw.Vicinity.members);
+    let sp = Dijkstra.sssp g v in
+    let dists =
+      List.init n Fun.id
+      |> List.filter (fun t -> t <> v)
+      |> List.map (fun t -> sp.Dijkstra.dist.(t))
+      |> List.sort compare
+    in
+    let got = Array.to_list vw.Vicinity.dists |> List.sort compare in
+    List.iteri
+      (fun i d ->
+        Alcotest.(check bool) "distance multiset" true
+          (Float.abs (d -. List.nth dists i) < 1e-9))
+      got
+  done
+
+let test_excludes_owner () =
+  let g = Helpers.random_graph 9 in
+  let vic = Vicinity.create g ~k:5 in
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.(check bool) "not own member" false (Vicinity.mem vic v v)
+  done
+
+let test_paths_valid_and_shortest () =
+  let g = Helpers.random_weighted_graph 11 in
+  let vic = Vicinity.create g ~k:8 in
+  for v = 0 to min 9 (Graph.n g - 1) do
+    let vw = Vicinity.view vic v in
+    Array.iteri
+      (fun i w ->
+        match Vicinity.path vic v w with
+        | None -> Alcotest.fail "member has no path"
+        | Some p ->
+            Helpers.check_path g ~src:v ~dst:w p;
+            Alcotest.(check bool) "path length = dist" true
+              (Float.abs (Helpers.path_len g p -. vw.Vicinity.dists.(i)) < 1e-9))
+      vw.Vicinity.members
+  done
+
+let test_mem_dist_path_agree () =
+  let g = Helpers.random_graph 13 in
+  let vic = Vicinity.create g ~k:4 in
+  for v = 0 to Graph.n g - 1 do
+    for w = 0 to Graph.n g - 1 do
+      let m = Vicinity.mem vic v w in
+      Alcotest.(check bool) "dist agrees" m (Vicinity.dist vic v w <> None);
+      Alcotest.(check bool) "path agrees" m (Vicinity.path vic v w <> None)
+    done
+  done
+
+let test_radius () =
+  let g = Helpers.random_weighted_graph 15 in
+  let vic = Vicinity.create g ~k:5 in
+  let vw = Vicinity.view vic 0 in
+  let max_d = Array.fold_left max 0.0 vw.Vicinity.dists in
+  Alcotest.(check (float 1e-9)) "radius = max member dist" max_d vw.Vicinity.radius
+
+let test_first_hop_count () =
+  let g = Helpers.random_graph 17 in
+  let vic = Vicinity.create g ~k:8 in
+  for v = 0 to Graph.n g - 1 do
+    let fh = Vicinity.first_hop_count vic v in
+    Alcotest.(check bool) "at least one" true (fh >= 1);
+    Alcotest.(check bool) "at most degree" true (fh <= Graph.degree g v)
+  done
+
+let test_cache () =
+  let g = Helpers.random_graph 19 in
+  let vic = Vicinity.create g ~k:3 in
+  Alcotest.(check int) "empty cache" 0 (Vicinity.cached_count vic);
+  ignore (Vicinity.view vic 0);
+  Alcotest.(check int) "one cached" 1 (Vicinity.cached_count vic);
+  Vicinity.precompute_all vic;
+  Alcotest.(check int) "all cached" (Graph.n g) (Vicinity.cached_count vic)
+
+let test_k_zero () =
+  let g = Helpers.random_graph 21 in
+  let vic = Vicinity.create g ~k:0 in
+  let vw = Vicinity.view vic 0 in
+  Alcotest.(check int) "no members" 0 (Array.length vw.Vicinity.members)
+
+let prop_vicinity_asymmetric_ok =
+  Helpers.qtest "membership need not be symmetric but dist is" ~count:20
+    Helpers.seed_arb (fun seed ->
+      let g = Helpers.random_weighted_graph seed in
+      let vic = Vicinity.create g ~k:5 in
+      let ok = ref true in
+      for v = 0 to min 9 (Graph.n g - 1) do
+        for w = 0 to min 9 (Graph.n g - 1) do
+          match (Vicinity.dist vic v w, Vicinity.dist vic w v) with
+          | Some a, Some b -> if Float.abs (a -. b) > 1e-9 then ok := false
+          | _ -> ()
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "members are k closest" `Quick test_members_are_k_closest;
+    Alcotest.test_case "excludes owner" `Quick test_excludes_owner;
+    Alcotest.test_case "paths valid and shortest" `Quick test_paths_valid_and_shortest;
+    Alcotest.test_case "mem/dist/path agree" `Quick test_mem_dist_path_agree;
+    Alcotest.test_case "radius" `Quick test_radius;
+    Alcotest.test_case "first hop count" `Quick test_first_hop_count;
+    Alcotest.test_case "cache" `Quick test_cache;
+    Alcotest.test_case "k = 0" `Quick test_k_zero;
+    prop_vicinity_asymmetric_ok;
+  ]
