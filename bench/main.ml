@@ -6,48 +6,43 @@
      dune exec bench/main.exe -- --figure fig3       # one figure
      dune exec bench/main.exe -- --scale paper       # paper-size topologies
      dune exec bench/main.exe -- --figure micro      # Bechamel micro-benches
+     dune exec bench/main.exe -- --json out.json     # machine-readable summary
 *)
 
 open Cmdliner
 module Figures = Disco_experiments.Figures
+module Results = Disco_experiments.Results
+module Cli = Disco_experiments.Cli
 
-let run figure scale seed =
-  match Figures.scale_of_string scale with
-  | None -> `Error (false, Printf.sprintf "unknown scale %S (small|paper)" scale)
-  | Some scale -> (
-      match figure with
-      | "all" ->
-          Figures.run_all ~seed scale;
-          Micro.run ();
-          `Ok ()
-      | "micro" ->
-          Micro.run ();
-          `Ok ()
-      | id when List.mem id Figures.all_ids ->
-          Figures.run ~seed scale id;
-          `Ok ()
-      | id ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown figure %S (expected one of: %s, micro, all)"
-                id
-                (String.concat ", " Figures.all_ids) ))
+let run figure scale seed json =
+  Results.reset ();
+  (match figure with
+  | "all" ->
+      Figures.run_all ~seed scale;
+      Micro.run ()
+  | "micro" -> Micro.run ()
+  | id -> Figures.run ~seed scale id);
+  match json with
+  | Some path -> (
+      try
+        Results.write_json path;
+        Printf.printf "wrote %s\n" path;
+        `Ok ()
+      with Sys_error e -> `Error (false, e))
+  | None -> `Ok ()
 
-let figure =
-  let doc = "Figure/table to regenerate (fig2..fig10, addr, overlay, nerror, synopsis, micro, all)." in
-  Arg.(value & opt string "all" & info [ "figure"; "f" ] ~docv:"ID" ~doc)
-
-let scale =
-  let doc = "Topology scale: small (minutes) or paper (paper-sized synthetics)." in
-  Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
-
-let seed =
-  let doc = "Deterministic RNG seed." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+let json =
+  let doc = "Write per-figure/per-router summary statistics as JSON." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let cmd =
   let doc = "Regenerate the Disco paper's evaluation figures and tables" in
   let info = Cmd.info "disco-bench" ~doc in
-  Cmd.v info Term.(ret (const run $ figure $ scale $ seed))
+  Cmd.v info
+    Term.(
+      ret
+        (const run
+        $ Cli.figure_term ~extra:[ "all"; "micro" ] ~default:"all" ()
+        $ Cli.scale_term $ Cli.seed_term $ json))
 
 let () = exit (Cmd.eval cmd)

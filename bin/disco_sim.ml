@@ -42,8 +42,7 @@ let kind_arg =
 let n_arg =
   Arg.(value & opt int 512 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
 
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+let seed_arg = Disco_experiments.Cli.seed_term
 
 let input_arg =
   Arg.(value & opt (some string) None
@@ -70,52 +69,50 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a topology as an edge list")
     Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ output))
 
-(* route: route one pair under a chosen protocol. *)
+(* route: route one pair under any registered routing scheme. *)
 let route_cmd =
   let run kind n seed input src dst protocol =
     match load_graph ~input ~kind ~n ~seed with
     | Error e -> `Error (false, e)
-    | Ok g ->
+    | Ok g -> (
         let nn = Graph.n g in
         if src < 0 || src >= nn || dst < 0 || dst >= nn then
           `Error (false, "src/dst out of range")
-        else begin
-          let rng = Rng.create seed in
-          let shortest = Dijkstra.distance g src dst in
-          let report name path =
-            Printf.printf "%-14s %2d hops  stretch %.3f  %s\n" name
-              (List.length path - 1)
-              (if shortest > 0.0 then Dijkstra.path_length g path /. shortest else 1.0)
-              (String.concat "-" (List.map string_of_int path))
-          in
-          (match protocol with
-          | "disco" ->
-              let d = Core.Disco.build ~rng g in
-              report "disco-first" (Core.Disco.route_first d ~src ~dst);
-              report "disco-later" (Core.Disco.route_later d ~src ~dst)
-          | "nddisco" ->
-              let nd = Core.Nddisco.build ~rng g in
-              report "nddisco-first" (Core.Nddisco.route_first nd ~src ~dst);
-              report "nddisco-later" (Core.Nddisco.route_later nd ~src ~dst)
-          | "s4" ->
-              let s4 = Disco_baselines.S4.build ~rng g in
-              report "s4-first" (Disco_baselines.S4.route_first s4 ~src ~dst);
-              report "s4-later" (Disco_baselines.S4.route_later s4 ~src ~dst)
-          | "vrr" -> (
-              let v = Disco_baselines.Vrr.build ~rng g in
-              match Disco_baselines.Vrr.route v ~src ~dst with
-              | Some p -> report "vrr" p
-              | None -> Printf.printf "vrr: routing failed\n")
-          | _ -> Printf.printf "unknown protocol (disco|nddisco|s4|vrr)\n");
-          Printf.printf "%-14s %.3f\n" "shortest" shortest;
-          `Ok ()
-        end
+        else
+          match Disco_experiments.Routers.find protocol with
+          | None ->
+              `Error
+                ( false,
+                  "unknown protocol; one of: "
+                  ^ String.concat ", " (Disco_experiments.Routers.names ()) )
+          | Some packed ->
+              let module R = (val packed : Disco_experiments.Protocol.ROUTER) in
+              let tb = Disco_experiments.Testbed.of_graph ~seed g in
+              let router = R.build tb in
+              let tel = Disco_util.Telemetry.create () in
+              let shortest = Dijkstra.distance g src dst in
+              let report name = function
+                | Some path ->
+                    Printf.printf "%-18s %2d hops  stretch %.3f  %s\n" name
+                      (List.length path - 1)
+                      (if shortest > 0.0 then Dijkstra.path_length g path /. shortest
+                       else 1.0)
+                      (String.concat "-" (List.map string_of_int path))
+                | None -> Printf.printf "%-18s routing failed\n" name
+              in
+              report (R.name ^ "-first") (R.route_first router ~tel ~src ~dst);
+              report (R.name ^ "-later") (R.route_later router ~tel ~src ~dst);
+              Printf.printf "%-18s %.3f\n" "shortest" shortest;
+              Printf.printf "%-18s %d entries\n" "state@src"
+                (R.state_entries router src);
+              `Ok ())
   in
   let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.") in
   let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.") in
   let protocol =
     Arg.(value & opt string "disco"
-         & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"disco, nddisco, s4 or vrr.")
+         & info [ "protocol"; "p" ] ~docv:"PROTO"
+             ~doc:"Any registered scheme: disco, nddisco, s4, vrr, bvr, seattle, tz, pathvector.")
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one source-destination pair")
     Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst $ protocol))
@@ -228,28 +225,15 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Export the topology as Graphviz, optionally with a route highlighted")
     Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst $ output))
 
-(* figure: delegate to the experiment harness. *)
+(* figure: delegate to the experiment harness; parsing shared with
+   bench/main.exe via Disco_experiments.Cli. *)
 let figure_cmd =
-  let run id scale seed =
-    match Disco_experiments.Figures.scale_of_string scale with
-    | None -> `Error (false, "scale must be small or paper")
-    | Some scale ->
-        if List.mem id Disco_experiments.Figures.all_ids then begin
-          Disco_experiments.Figures.run ~seed scale id;
-          `Ok ()
-        end
-        else
-          `Error
-            ( false,
-              "unknown figure id; one of: "
-              ^ String.concat ", " Disco_experiments.Figures.all_ids )
-  in
-  let id = Arg.(value & opt string "fig3" & info [ "id" ] ~docv:"ID" ~doc:"Figure id.") in
-  let scale =
-    Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc:"small or paper.")
-  in
+  let run id scale seed = Disco_experiments.Figures.run ~seed scale id in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one evaluation figure")
-    Term.(ret (const run $ id $ scale $ seed_arg))
+    Term.(
+      const run
+      $ Disco_experiments.Cli.figure_term ~default:"fig3" ()
+      $ Disco_experiments.Cli.scale_term $ seed_arg)
 
 let () =
   let info =

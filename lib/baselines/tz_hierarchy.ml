@@ -123,3 +123,41 @@ let route_length t ~src ~dst =
   end
 
 let stretch_bound t = float_of_int ((2 * t.k) - 1)
+
+(* The same climb as {!route_length}, stopping at the pivot the packet
+   routes through. *)
+let routing_pivot t ~src ~dst =
+  let rec climb i x y w =
+    if in_bunch t ~node:y ~target:w then Some w
+    else begin
+      let i = i + 1 in
+      if i >= t.k then None
+      else begin
+        let x, y = (y, x) in
+        climb i x y t.pivot.(i).(x)
+      end
+    end
+  in
+  climb 0 src dst src
+
+let route t ~src ~dst =
+  if src = dst then Some [ src ]
+  else
+    match routing_pivot t ~src ~dst with
+    | None -> None
+    | Some w ->
+        (* Both legs of [src ~> w ~> dst] are shortest paths, so one run
+           rooted at the pivot reconstructs the whole route. *)
+        let sp = Dijkstra.sssp t.graph w in
+        if sp.Dijkstra.dist.(src) = infinity || sp.Dijkstra.dist.(dst) = infinity
+        then None
+        else begin
+          let from_pivot z =
+            Dijkstra.path_of_parents
+              ~parent:(fun u -> sp.Dijkstra.parent.(u))
+              ~src:w ~dst:z
+          in
+          match from_pivot dst with
+          | [] -> None
+          | _ :: tail -> Some (List.rev (from_pivot src) @ tail)
+        end

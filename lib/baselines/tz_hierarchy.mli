@@ -34,6 +34,12 @@ val route_length : t -> src:int -> dst:int -> float
 (** Length of the TZ route (via the first common pivot, taking the better
     direction). Finite for every connected pair. *)
 
+val route : t -> src:int -> dst:int -> int list option
+(** The node path of the TZ route, [src ~> pivot ~> dst] along shortest
+    paths; [None] only when the pair is disconnected. Its length can
+    exceed {!route_length} by the unexplored reverse direction — the
+    scheme forwards via the pivot found climbing from [src]. *)
+
 val stretch_bound : t -> float
 (** The scheme's worst-case guarantee, [2k - 1]. *)
 

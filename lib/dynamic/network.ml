@@ -436,7 +436,7 @@ let create ?(config = default_config) ~rng ~graph ~n_estimate () =
           fingers = [];
         })
   in
-  let t = { graph; config; sim = Sim.create ~graph; nodes } in
+  let t = { graph; config; sim = Sim.create ~graph (); nodes } in
   Sim.set_handler t.sim (handle t);
   t
 

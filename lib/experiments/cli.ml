@@ -1,0 +1,42 @@
+open Cmdliner
+
+let scale_conv : Scale.t Arg.conv =
+  let parse s =
+    match Scale.of_string s with
+    | Some v -> Ok v
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown scale %S (expected small or paper)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Scale.to_string s) in
+  Arg.conv (parse, print)
+
+let scale_term =
+  let doc = "Topology scale: small (minutes) or paper (paper-sized synthetics)." in
+  Arg.(value & opt scale_conv Scale.Small & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let seed_term =
+  let doc = "Deterministic RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let figure_conv ~extra : string Arg.conv =
+  let ids = Figures.all_ids @ extra in
+  let parse s =
+    if List.mem s ids then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown figure %S (expected one of: %s)" s
+             (String.concat ", " ids)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let figure_term ?(extra = []) ~default () =
+  let doc =
+    "Figure/table to regenerate: "
+    ^ String.concat ", " (Figures.all_ids @ extra)
+    ^ "."
+  in
+  Arg.(
+    value
+    & opt (figure_conv ~extra) default
+    & info [ "figure"; "f"; "id" ] ~docv:"ID" ~doc)

@@ -1,0 +1,16 @@
+(** Shared Cmdliner terms for the executables.
+
+    [bench/main.exe] and [disco-sim figure] accept the same figure ids and
+    scales; parsing and the error strings live here so the two frontends
+    cannot drift. *)
+
+val scale_term : Scale.t Cmdliner.Term.t
+(** [--scale small|paper], defaulting to small; rejects anything else with
+    the unified error message. *)
+
+val seed_term : int Cmdliner.Term.t
+(** [--seed N], defaulting to 42. *)
+
+val figure_term : ?extra:string list -> default:string -> unit -> string Cmdliner.Term.t
+(** [--figure]/[-f]/[--id], validated against {!Figures.all_ids} plus
+    [extra] ids the caller handles itself (e.g. ["all"], ["micro"]). *)

@@ -1,0 +1,163 @@
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Rng = Disco_util.Rng
+module Stats = Disco_util.Stats
+module Telemetry = Disco_util.Telemetry
+
+let now () = Unix.gettimeofday ()
+
+let path_stretch graph ~dist path =
+  if dist <= 0.0 then 1.0 else Dijkstra.path_length graph path /. dist
+
+let draw_pairs ?(dests_per_src = 8) rng ~n ~pairs =
+  let sources = max 1 ((pairs + dests_per_src - 1) / dests_per_src) in
+  List.init sources (fun _ ->
+      let s = Rng.int rng n in
+      let ds =
+        List.init dests_per_src (fun _ -> Rng.int rng n)
+        |> List.filter (fun d -> d <> s)
+        |> List.sort_uniq compare
+      in
+      (s, ds))
+
+let iter_groups ?tel graph groups f =
+  let ws = Dijkstra.make_workspace graph in
+  List.iter
+    (fun (s, dests) ->
+      (match tel with Some t -> Telemetry.sssp_run t | None -> ());
+      let sp = Dijkstra.sssp ~ws graph s in
+      List.iter
+        (fun t ->
+          let dist = sp.Dijkstra.dist.(t) in
+          if dist > 0.0 && dist < infinity then f ~src:s ~dst:t ~dist)
+        dests)
+    groups
+
+let iter_pairs ?tel ?dests_per_src ~pairs rng graph f =
+  iter_groups ?tel graph
+    (draw_pairs ?dests_per_src rng ~n:(Graph.n graph) ~pairs)
+    f
+
+type sampled = {
+  router : string;
+  flat_names : string;
+  first : float array;
+  later : float array;
+  first_failures : int;
+  later_failures : int;
+  state : float array;
+  tel : Telemetry.t;
+  elapsed_s : float;
+}
+
+(* One ROUTER instance behind closures, so a heterogeneous list of built
+   routers can share the measurement loop. *)
+type built = {
+  b_name : string;
+  b_flat : string;
+  b_first : tel:Telemetry.t -> src:int -> dst:int -> int list option;
+  b_later : tel:Telemetry.t -> src:int -> dst:int -> int list option;
+  b_state : int -> int;
+  b_tel : Telemetry.t;
+  mutable b_acc_first : float list;
+  mutable b_acc_later : float list;
+  mutable b_first_failures : int;
+  mutable b_later_failures : int;
+  mutable b_seconds : float;
+}
+
+let instantiate (module R : Protocol.ROUTER) tb =
+  let t0 = now () in
+  let r = R.build tb in
+  {
+    b_name = R.name;
+    b_flat = R.flat_names;
+    b_first = (fun ~tel ~src ~dst -> R.route_first r ~tel ~src ~dst);
+    b_later = (fun ~tel ~src ~dst -> R.route_later r ~tel ~src ~dst);
+    b_state = R.state_entries r;
+    b_tel = Telemetry.create ();
+    b_acc_first = [];
+    b_acc_later = [];
+    b_first_failures = 0;
+    b_later_failures = 0;
+    b_seconds = now () -. t0;
+  }
+
+let state_array packed tb =
+  let b = instantiate packed tb in
+  Array.init (Graph.n tb.Testbed.graph) (fun v -> float_of_int (b.b_state v))
+
+let sample_pairs ?(pairs = 2000) ?(dests_per_src = 8) ?(purpose = 11) ?tel
+    ~routers (tb : Testbed.t) =
+  let graph = tb.Testbed.graph in
+  let n = Graph.n graph in
+  let built = List.map (fun r -> instantiate r tb) routers in
+  let rng = Testbed.rng tb ~purpose in
+  let groups = draw_pairs ~dests_per_src rng ~n ~pairs in
+  iter_groups ?tel graph groups (fun ~src ~dst ~dist ->
+      List.iter
+        (fun b ->
+          let t0 = now () in
+          Telemetry.route_call b.b_tel;
+          (match b.b_first ~tel:b.b_tel ~src ~dst with
+          | Some path ->
+              b.b_acc_first <- path_stretch graph ~dist path :: b.b_acc_first
+          | None ->
+              Telemetry.route_failure b.b_tel;
+              b.b_first_failures <- b.b_first_failures + 1);
+          Telemetry.route_call b.b_tel;
+          (match b.b_later ~tel:b.b_tel ~src ~dst with
+          | Some path ->
+              b.b_acc_later <- path_stretch graph ~dist path :: b.b_acc_later
+          | None ->
+              Telemetry.route_failure b.b_tel;
+              b.b_later_failures <- b.b_later_failures + 1);
+          b.b_seconds <- b.b_seconds +. (now () -. t0))
+        built);
+  List.map
+    (fun b ->
+      (match tel with Some t -> Telemetry.add ~into:t b.b_tel | None -> ());
+      let s =
+        {
+          router = b.b_name;
+          flat_names = b.b_flat;
+          first = Array.of_list (List.rev b.b_acc_first);
+          later = Array.of_list (List.rev b.b_acc_later);
+          first_failures = b.b_first_failures;
+          later_failures = b.b_later_failures;
+          state = Array.init n (fun v -> float_of_int (b.b_state v));
+          tel = b.b_tel;
+          elapsed_s = b.b_seconds;
+        }
+      in
+      let summarize a =
+        if Array.length a = 0 then (Float.nan, Float.nan)
+        else
+          let s = Stats.summarize a in
+          (s.Stats.mean, s.Stats.max)
+      in
+      let fm, fx = summarize s.first in
+      let lm, lx = summarize s.later in
+      let sm, sx = summarize s.state in
+      Results.record
+        {
+          Results.figure = Results.current_figure ();
+          router = s.router;
+          samples = Array.length s.first;
+          stretch_first_mean = fm;
+          stretch_first_max = fx;
+          stretch_later_mean = lm;
+          stretch_later_max = lx;
+          state_mean = sm;
+          state_max = sx;
+          failures = s.first_failures + s.later_failures;
+          route_calls = b.b_tel.Telemetry.route_calls;
+          resolution_fallbacks = b.b_tel.Telemetry.resolution_fallbacks;
+          messages = b.b_tel.Telemetry.messages_sent;
+          elapsed_s = s.elapsed_s;
+        };
+      s)
+    built
+
+let find_sampled name samples =
+  List.find_opt (fun s -> s.router = name) samples

@@ -1,0 +1,75 @@
+(** The one sampled-pairs measurement loop the whole evaluation shares.
+
+    Sources are drawn uniformly and destinations grouped per source, so a
+    single SSSP run provides the shortest-path oracle for a batch of
+    pairs. Every figure that measures stretch or state either calls
+    {!sample_pairs} (table-driven, over registry routers) or supplies a
+    per-pair closure to {!iter_pairs}/{!iter_groups} — there is no other
+    copy of this loop in the repo. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the one timing source the
+    harness uses. *)
+
+val path_stretch : Disco_graph.Graph.t -> dist:float -> int list -> float
+(** Stretch of one route given the true shortest distance. *)
+
+val draw_pairs :
+  ?dests_per_src:int ->
+  Disco_util.Rng.t ->
+  n:int ->
+  pairs:int ->
+  (int * int list) list
+(** Sample ~[pairs] (source, destinations) groups ([dests_per_src]
+    destinations per source, default 8; self-pairs dropped, duplicates
+    merged). Drawing is separate from iteration so sweeps can reuse one
+    draw across variants (e.g. the heuristic table). *)
+
+val iter_groups :
+  ?tel:Disco_util.Telemetry.t ->
+  Disco_graph.Graph.t ->
+  (int * int list) list ->
+  (src:int -> dst:int -> dist:float -> unit) ->
+  unit
+(** Run the loop: one SSSP per source (counted on [tel]), then the closure
+    for every reachable destination with its true distance. *)
+
+val iter_pairs :
+  ?tel:Disco_util.Telemetry.t ->
+  ?dests_per_src:int ->
+  pairs:int ->
+  Disco_util.Rng.t ->
+  Disco_graph.Graph.t ->
+  (src:int -> dst:int -> dist:float -> unit) ->
+  unit
+(** [draw_pairs] + [iter_groups]. *)
+
+type sampled = {
+  router : string;
+  flat_names : string;
+  first : float array;  (** first-packet stretch samples *)
+  later : float array;
+  first_failures : int;  (** route_first returned None *)
+  later_failures : int;
+  state : float array;  (** per-node state entries *)
+  tel : Disco_util.Telemetry.t;  (** per-router counters *)
+  elapsed_s : float;  (** build + route time for this router *)
+}
+
+val sample_pairs :
+  ?pairs:int ->
+  ?dests_per_src:int ->
+  ?purpose:int ->
+  ?tel:Disco_util.Telemetry.t ->
+  routers:Protocol.packed list ->
+  Testbed.t ->
+  sampled list
+(** Build every router over the testbed and measure them all on the same
+    sampled pairs (RNG stream [purpose], default 11). Per-router counters
+    are merged into [tel] when given, and a {!Results} entry is recorded
+    per router under the current figure. *)
+
+val state_array : Protocol.packed -> Testbed.t -> float array
+(** Build one router and collect its per-node state entries. *)
+
+val find_sampled : string -> sampled list -> sampled option

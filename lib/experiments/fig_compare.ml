@@ -1,0 +1,51 @@
+(* fig1: the paper's protocol-comparison table, but measured. One
+   latency-weighted topology, every scheme's state and stretch side by
+   side; "scalable / low stretch / flat names" become numbers. This is
+   the registry showcase: the whole table is one [Engine.sample_pairs]
+   call over the fig1 router list. *)
+
+module Gen = Disco_graph.Gen
+module Stats = Disco_util.Stats
+
+let order = [ "pathvector"; "seattle"; "bvr"; "vrr"; "s4"; "nddisco"; "disco" ]
+
+let fig1 (ctx : Protocol.ctx) =
+  let n = 1024 in
+  Report.section
+    (Printf.sprintf "fig1 (measured): all protocols on a geometric graph, n=%d" n);
+  let tb = Testbed.make ~seed:ctx.Protocol.seed Gen.Geometric ~n in
+  let samples =
+    Engine.sample_pairs ~pairs:1000 ~dests_per_src:4 ~purpose:42
+      ~tel:ctx.Protocol.tel
+      ~routers:(List.map Routers.find_exn order)
+      tb
+  in
+  let stat a =
+    if Array.length a = 0 then "-"
+    else
+      let s = Stats.summarize a in
+      Printf.sprintf "%.2f / %.2f" s.Stats.mean s.Stats.max
+  in
+  let row (s : Engine.sampled) =
+    let st = Stats.summarize s.Engine.state in
+    let state = Printf.sprintf "%.0f / %.0f" st.Stats.mean st.Stats.max in
+    (* Presentation quirks preserved from the paper's table: BVR has no
+       handshake (its "first" is a beacon lookup we don't model), and
+       NDDisco's later packets are by construction no worse than first. *)
+    let first, later =
+      match s.Engine.router with
+      | "bvr" -> ("-", stat s.Engine.later)
+      | "nddisco" -> (stat s.Engine.first, "<= first")
+      | _ -> (stat s.Engine.first, stat s.Engine.later)
+    in
+    [ s.Engine.router; state; first; later; s.Engine.flat_names ]
+  in
+  Report.table
+    ~header:
+      [ "protocol"; "state mean/max"; "first stretch mean/max"; "later"; "flat names" ]
+    (List.map row samples);
+  match Engine.find_sampled "bvr" samples with
+  | Some bvr ->
+      Report.kv "bvr greedy failures (would scoped-flood)"
+        (string_of_int bvr.Engine.first_failures)
+  | None -> ()

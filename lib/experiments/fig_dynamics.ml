@@ -1,0 +1,49 @@
+(* dynamics: the event-driven protocol under a scripted life cycle —
+   cold start, a batch of late joins, a batch of fail-stop leaves —
+   reporting reachability and cumulative protocol messages over time.
+   (The paper's simulations measure initial convergence only and leave
+   "continuous churn to future work"; this experiment is that future
+   work.) *)
+
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+
+let dynamics (ctx : Protocol.ctx) =
+  let { Protocol.seed; _ } = ctx in
+  Report.section "dynamics: event-driven Disco under join/leave churn (G(n,m), n=128)";
+  let n = 128 in
+  let rng = Rng.create (seed * 23) in
+  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
+  let net = Disco_dynamic.Network.create ~rng ~graph ~n_estimate:n () in
+  let joiners = [ 9; 23; 77; 101 ] in
+  let leavers = [ 14; 60 ] in
+  let pair_rng = Rng.create (seed + 5) in
+  let pairs ~alive =
+    List.init 80 (fun _ -> (Rng.int pair_rng n, Rng.int pair_rng n))
+    |> List.filter (fun (s, d) -> s <> d && alive s && alive d)
+  in
+  for v = 0 to n - 1 do
+    if not (List.mem v joiners) then Disco_dynamic.Network.activate net v
+  done;
+  let report label ~alive =
+    Report.kv label
+      (Printf.sprintf "t=%5.0f msgs=%8d landmarks=%3d reachability=%.3f"
+         (Disco_dynamic.Network.now net)
+         (Disco_dynamic.Network.messages_sent net)
+         (Disco_dynamic.Network.landmark_count net)
+         (Disco_dynamic.Network.reachable_fraction net ~pairs:(pairs ~alive)))
+  in
+  let alive0 v = not (List.mem v joiners) in
+  Disco_dynamic.Network.run_until net 150.0;
+  report "after cold start" ~alive:alive0;
+  Disco_dynamic.Network.run_until net 400.0;
+  report "steady state" ~alive:alive0;
+  List.iter (Disco_dynamic.Network.activate net) joiners;
+  Disco_dynamic.Network.run_until net 800.0;
+  report "after 4 joins" ~alive:(fun _ -> true);
+  List.iter (Disco_dynamic.Network.deactivate net) leavers;
+  let alive2 v = not (List.mem v leavers) in
+  Disco_dynamic.Network.run_until net 900.0;
+  report "right after 2 fail-stops" ~alive:alive2;
+  Disco_dynamic.Network.run_until net 1500.0;
+  report "after soft-state repair" ~alive:alive2

@@ -1,0 +1,114 @@
+(* nerror, synopsis and churn: what happens when nodes only estimate n,
+   and how n is estimated in the first place. *)
+
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+module Stats = Disco_util.Stats
+module Core = Disco_core
+
+(* nerror: random error in each node's estimate of n (§5). n = 2048 puts
+   the group-width boundary (k flips at n ~ 1844) inside the error range,
+   so nodes genuinely disagree on the grouping — at n = 1024 even ±60%
+   error leaves every node with the same k and the experiment shows
+   nothing. *)
+let nerror (ctx : Protocol.ctx) =
+  let { Protocol.seed; tel; _ } = ctx in
+  Report.section "nerror: error in estimating n (G(n,m), n=2048)";
+  let n = 2048 in
+  let rng = Rng.create ((seed * 31337) + 5) in
+  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
+  let nd = Core.Nddisco.build ~rng graph in
+  List.iter
+    (fun error ->
+      let est_rng = Rng.create ((seed * 7) + int_of_float (error *. 100.0)) in
+      let n_estimates =
+        Array.init n (fun _ ->
+            let factor = 1.0 +. Rng.float est_rng (2.0 *. error) -. error in
+            max 2 (int_of_float (float_of_int n *. factor)))
+      in
+      let groups =
+        Core.Groups.build_with_estimates ~hashes:nd.Core.Nddisco.hashes ~n_estimates
+      in
+      let disco = Core.Disco.of_nddisco ~rng:(Rng.create (seed + 77)) ~groups nd in
+      (* Sampled pairs: how often does the group mechanism fail over to the
+         resolution database, and what's the mean first-packet stretch? *)
+      let pair_rng = Rng.create (seed + 991) in
+      let fallbacks = ref 0 and total = ref 0 in
+      let stretches = ref [] in
+      Engine.iter_pairs ~tel ~dests_per_src:5 ~pairs:1500 pair_rng graph
+        (fun ~src:s ~dst:t ~dist ->
+          incr total;
+          (match Core.Disco.classify_first disco ~src:s ~dst:t with
+          | Core.Disco.Resolution_fallback -> incr fallbacks
+          | _ -> ());
+          stretches :=
+            Engine.path_stretch graph ~dist (Core.Disco.route_first disco ~src:s ~dst:t)
+            :: !stretches);
+      Report.kv
+        (Printf.sprintf "error ±%.0f%%" (error *. 100.0))
+        (Printf.sprintf "fallback rate=%.4f mean first stretch=%.4f"
+           (float_of_int !fallbacks /. float_of_int (max 1 !total))
+           (Stats.mean (Array.of_list !stretches))))
+    [ 0.0; 0.4; 0.6 ]
+
+(* synopsis: §4.1 estimate-n accuracy via synopsis diffusion. The sketch
+   of a fixed name set is deterministic, so one run is a single
+   realization; salt the names over several runs and report the average
+   absolute error, matching the paper's "within 10% on average". *)
+let synopsis (ctx : Protocol.ctx) =
+  let { Protocol.seed; _ } = ctx in
+  Report.section "synopsis: estimating n by synopsis diffusion (G(n,m), n=1024)";
+  let n = 1024 in
+  let rng = Rng.create (seed * 13) in
+  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
+  let runs = 8 in
+  List.iter
+    (fun buckets ->
+      let bytes = ref 0 and msgs = ref 0 and rounds = ref 0 in
+      let errors =
+        Array.init runs (fun salt ->
+            let node_name v = Printf.sprintf "run%d/%s" salt (Core.Name.default v) in
+            let o =
+              Disco_synopsis.Diffusion.estimate_n ~graph ~node_name ~buckets ()
+            in
+            bytes := o.Disco_synopsis.Diffusion.sketch_bytes;
+            msgs := o.Disco_synopsis.Diffusion.messages;
+            rounds := o.Disco_synopsis.Diffusion.rounds_run;
+            (* All nodes converge to the global sketch; read node 0. *)
+            Float.abs (o.Disco_synopsis.Diffusion.estimates.(0) -. float_of_int n)
+            /. float_of_int n)
+      in
+      Report.kv
+        (Printf.sprintf "%d buckets (%dB synopsis)" buckets !bytes)
+        (Printf.sprintf
+           "mean |error|=%.1f%% max |error|=%.1f%% over %d runs (rounds=%d msgs/run=%d)"
+           (100.0 *. Stats.mean errors)
+           (100.0 *. (Stats.summarize errors).Stats.max)
+           runs !rounds !msgs))
+    [ 32; 64; 128 ]
+
+(* churn: §4.2's factor-2 hysteresis rule for landmark status, vs the
+   naive policy of re-drawing on every estimate update. *)
+let churn (ctx : Protocol.ctx) =
+  let { Protocol.seed; _ } = ctx in
+  Report.section "churn: landmark flips while n grows 1k -> ~8k (+10%/step)";
+  let trajectory =
+    let rec go acc n k =
+      if k = 0 then List.rev acc else go ((n * 11 / 10) :: acc) (n * 11 / 10) (k - 1)
+    in
+    go [] 1024 22
+  in
+  List.iter
+    (fun hysteresis ->
+      let c =
+        Core.Landmark_churn.create ~rng:(Rng.create (seed * 3))
+          ~params:Core.Params.default ~hysteresis ~n0:1024
+      in
+      List.iter (fun n -> ignore (Core.Landmark_churn.observe c ~n)) trajectory;
+      Report.kv
+        (if hysteresis then "factor-2 hysteresis (the paper's rule)" else "naive re-draw")
+        (Printf.sprintf "%d total status flips; %d landmarks at n=%d"
+           (Core.Landmark_churn.total_flips c)
+           (Core.Landmark_churn.landmark_count c)
+           (Core.Landmark_churn.population c)))
+    [ true; false ]

@@ -1,0 +1,83 @@
+(* fig8 and the overlay experiment: control-plane messaging cost. *)
+
+module Gen = Disco_graph.Gen
+module Stats = Disco_util.Stats
+module Core = Disco_core
+
+(* fig8: messages per node until convergence, G(n,m) of increasing size. *)
+let fig8 (ctx : Protocol.ctx) =
+  let { Protocol.seed; scale; tel } = ctx in
+  Report.section "fig8: mean messages/node until convergence on G(n,m)";
+  let sizes =
+    match scale with
+    | Scale.Small -> [ 128; 256; 512; 1024 ]
+    | Scale.Paper -> [ 128; 256; 512; 1024; 1280 ]
+  in
+  let points = Messaging.sweep ~telemetry:tel ~seed ~pv_cap:512 ~sizes () in
+  Report.table
+    ~header:[ "n"; "pathvector"; "s4"; "nddisco"; "disco-1f"; "disco-3f" ]
+    (List.map
+       (fun (p : Messaging.point) ->
+         [
+           string_of_int p.Messaging.n;
+           Printf.sprintf "%.0f%s" p.Messaging.pathvector
+             (if p.Messaging.pv_measured then "" else " (extrapolated)");
+           Printf.sprintf "%.0f" p.Messaging.s4;
+           Printf.sprintf "%.0f" p.Messaging.nddisco;
+           Printf.sprintf "%.0f" p.Messaging.disco_1f;
+           Printf.sprintf "%.0f" p.Messaging.disco_3f;
+         ])
+       points)
+
+(* overlay: 1 vs 3 fingers, announcement hops and messages; then the
+   naive alternative §4.4 rejects — relaying group state through the
+   resolution landmarks — costed in bytes per refresh epoch. *)
+let overlay (ctx : Protocol.ctx) =
+  let { Protocol.seed; _ } = ctx in
+  Report.section "overlay: address dissemination, 1 vs 3 fingers (G(n,m), n=1024)";
+  List.iter
+    (fun (s : Messaging.overlay_stats) ->
+      Report.kv
+        (Printf.sprintf "%d finger(s)" s.Messaging.fingers)
+        (Printf.sprintf
+           "announce hops mean=%.2f max=%d; dissemination msgs=%d; coverage=%.4f"
+           s.Messaging.mean_announce_hops s.Messaging.max_announce_hops
+           s.Messaging.dissemination_messages s.Messaging.coverage))
+    (Messaging.overlay_comparison ~seed ~n:1024 ());
+  (* Naive landmark relay: every node refreshes its address once per epoch;
+     the owner landmark must push it to every member of the node's group
+     ("the landmark would have to relay O~(sqrt n) addresses to each of
+     O~(sqrt n) nodes for a total of O~(n) bytes per minute", §4.4). *)
+  let n = 1024 in
+  let tb = Testbed.make ~seed Gen.Gnm ~n in
+  let nd = Testbed.nd tb in
+  let owners = Core.Resolution.owners_by_node tb.Testbed.disco.Core.Disco.resolution in
+  let addr_bytes w =
+    20 + Core.Address.byte_size ~name_bytes:20 (Core.Nddisco.address nd w)
+  in
+  let relay = Array.make n 0 in
+  for w = 0 to n - 1 do
+    let subscribers = Array.length (Core.Groups.members tb.Testbed.disco.Core.Disco.groups w) - 1 in
+    relay.(owners.(w)) <- relay.(owners.(w)) + (subscribers * addr_bytes w)
+  done;
+  let landmark_loads =
+    Array.to_list relay |> List.filter (fun b -> b > 0) |> List.map float_of_int
+    |> Array.of_list
+  in
+  let naive = Stats.summarize landmark_loads in
+  (* Overlay: each node forwards each announcement it first receives to a
+     constant number of overlay links. *)
+  let groups = tb.Testbed.disco.Core.Disco.groups in
+  let overlay = Core.Overlay.build ~rng:(Testbed.rng tb ~purpose:71) ~fingers:1 nd groups in
+  let d = Core.Overlay.disseminate overlay in
+  let mean_addr =
+    Stats.mean (Array.init n (fun w -> float_of_int (addr_bytes w)))
+  in
+  let overlay_per_node =
+    float_of_int d.Core.Overlay.messages /. float_of_int n *. mean_addr
+  in
+  Report.kv "naive landmark relay (bytes/landmark/epoch)"
+    (Printf.sprintf "mean %.0f, max %.0f (concentrated on the %d owner landmarks)"
+       naive.Stats.mean naive.Stats.max (Array.length landmark_loads));
+  Report.kv "overlay dissemination (bytes/node/epoch)"
+    (Printf.sprintf "%.0f, spread evenly" overlay_per_node)

@@ -1,0 +1,109 @@
+(* fig2 and fig7: per-node routing state, in entries and in bytes. *)
+
+module Graph = Disco_graph.Graph
+module Gen = Disco_graph.Gen
+module Stats = Disco_util.Stats
+module Core = Disco_core
+
+(* fig2: per-node state CDFs on geometric / AS / router topologies. *)
+let fig2 (ctx : Protocol.ctx) =
+  let { Protocol.seed; scale; _ } = ctx in
+  Report.section
+    (Printf.sprintf "fig2: state CDF over nodes (Disco, NDDisco, S4); n=%d"
+       (Scale.big_n scale));
+  List.iter
+    (fun (kind, n) ->
+      let tb = Testbed.make ~seed kind ~n in
+      let st = Metrics.state tb in
+      Printf.printf " topology=%s\n" (Gen.kind_name kind);
+      Report.summary_line ~label:"disco" st.Metrics.disco;
+      Report.summary_line ~label:"nddisco" st.Metrics.nddisco;
+      Report.summary_line ~label:"s4" st.Metrics.s4;
+      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.disco" (Gen.kind_name kind)) st.Metrics.disco;
+      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.nddisco" (Gen.kind_name kind)) st.Metrics.nddisco;
+      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.s4" (Gen.kind_name kind)) st.Metrics.s4)
+    (Scale.topologies scale)
+
+(* fig7: state in entries and kilobytes (IPv4/IPv6 name sizes). *)
+let fig7 (ctx : Protocol.ctx) =
+  let { Protocol.seed; scale; _ } = ctx in
+  let n = Scale.big_n scale in
+  Report.section
+    (Printf.sprintf "fig7: state entries and KB on router-level topology; n=%d" n);
+  let tb = Testbed.make ~seed Gen.Router_level ~n in
+  let nd = Testbed.nd tb in
+  let st = Metrics.state tb in
+  let addr_bytes name_bytes w =
+    float_of_int
+      (name_bytes + Core.Address.byte_size ~name_bytes (Core.Nddisco.address nd w))
+  in
+  let mean_addr =
+    (* One mean per name size, not one per node: the value only depends on
+       [nb]. *)
+    let cache = Hashtbl.create 2 in
+    fun nb ->
+      match Hashtbl.find_opt cache nb with
+      | Some v -> v
+      | None ->
+          let v =
+            Stats.mean
+              (Array.init (Graph.n tb.Testbed.graph) (fun w -> addr_bytes nb w))
+          in
+          Hashtbl.add cache nb v;
+          v
+  in
+  (* Per-node bytes for the two route-table protocols: route entries cost
+     name + 2B of next-hop state; resolution/group mappings cost
+     name + address. *)
+  let nddisco_bytes nb v =
+    let resolution_entries =
+      Core.Resolution.entries_at tb.Testbed.disco.Core.Disco.resolution v
+    in
+    let d = Core.Nddisco.state_entries ~resolution_entries nd v in
+    float_of_int
+      ((d.Core.Nddisco.vicinity_entries + d.Core.Nddisco.landmark_entries)
+       * (nb + 2)
+      + (2 * d.Core.Nddisco.label_mappings))
+    +. (float_of_int d.Core.Nddisco.resolution_entries *. (mean_addr nb +. 0.0))
+  in
+  let cluster_sizes = Disco_baselines.S4.cluster_sizes tb.Testbed.s4 in
+  let resolution_loads = Disco_baselines.S4.resolution_loads tb.Testbed.s4 in
+  let s4_bytes nb v =
+    let entries =
+      Disco_baselines.S4.state_entries tb.Testbed.s4 ~cluster_sizes
+        ~resolution_loads v
+    in
+    let resolution = resolution_loads.(v) in
+    let labels = min (Graph.degree tb.Testbed.graph v) entries in
+    float_of_int ((entries - resolution - labels) * (nb + 2))
+    +. float_of_int (2 * labels)
+    +. (float_of_int resolution *. mean_addr nb)
+  in
+  let disco_bytes nb v = Core.Disco.state_bytes tb.Testbed.disco ~name_bytes:nb v in
+  let nn = Graph.n tb.Testbed.graph in
+  let collect f = Array.init nn f in
+  let row label entries bytes4 bytes16 =
+    let e = Stats.summarize entries in
+    let b4 = Stats.summarize bytes4 in
+    let b16 = Stats.summarize bytes16 in
+    [
+      label;
+      Printf.sprintf "%.1f" e.Stats.mean;
+      Printf.sprintf "%.0f" e.Stats.max;
+      Printf.sprintf "%.2f" (b4.Stats.mean /. 1024.0);
+      Printf.sprintf "%.2f" (b4.Stats.max /. 1024.0);
+      Printf.sprintf "%.2f" (b16.Stats.mean /. 1024.0);
+      Printf.sprintf "%.2f" (b16.Stats.max /. 1024.0);
+    ]
+  in
+  Report.table
+    ~header:
+      [ "scheme"; "entries-mean"; "entries-max"; "KB(IPv4)-mean"; "KB(IPv4)-max";
+        "KB(IPv6)-mean"; "KB(IPv6)-max" ]
+    [
+      row "s4" st.Metrics.s4 (collect (s4_bytes 4)) (collect (s4_bytes 16));
+      row "nddisco" st.Metrics.nddisco
+        (collect (nddisco_bytes 4))
+        (collect (nddisco_bytes 16));
+      row "disco" st.Metrics.disco (collect (disco_bytes 4)) (collect (disco_bytes 16));
+    ]

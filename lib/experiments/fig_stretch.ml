@@ -1,0 +1,105 @@
+(* fig3, fig6 and the vicinity ablation: stretch distributions. *)
+
+module Gen = Disco_graph.Gen
+module Rng = Disco_util.Rng
+module Stats = Disco_util.Stats
+module Core = Disco_core
+
+(* fig3: stretch CDFs (first and later packets) on the same topologies. *)
+let fig3 (ctx : Protocol.ctx) =
+  let { Protocol.seed; scale; _ } = ctx in
+  Report.section
+    (Printf.sprintf "fig3: stretch CDF over src-dst pairs; n=%d" (Scale.big_n scale));
+  List.iter
+    (fun (kind, n) ->
+      let tb = Testbed.make ~seed kind ~n in
+      let st = Metrics.stretch ~pairs:(Scale.pairs_for scale) tb in
+      Printf.printf " topology=%s\n" (Gen.kind_name kind);
+      Report.summary_line ~label:"disco-first" st.Metrics.s_disco.Metrics.first;
+      Report.summary_line ~label:"disco-later" st.Metrics.s_disco.Metrics.later;
+      Report.summary_line ~label:"s4-first" st.Metrics.s_s4.Metrics.first;
+      Report.summary_line ~label:"s4-later" st.Metrics.s_s4.Metrics.later;
+      let pre = Printf.sprintf "fig3.%s" (Gen.kind_name kind) in
+      Report.cdf_series ~label:(pre ^ ".disco-first") st.Metrics.s_disco.Metrics.first;
+      Report.cdf_series ~label:(pre ^ ".disco-later") st.Metrics.s_disco.Metrics.later;
+      Report.cdf_series ~label:(pre ^ ".s4-first") st.Metrics.s_s4.Metrics.first;
+      Report.cdf_series ~label:(pre ^ ".s4-later") st.Metrics.s_s4.Metrics.later)
+    (Scale.topologies scale)
+
+(* fig6: mean stretch per shortcutting heuristic across four topologies. *)
+let fig6 (ctx : Protocol.ctx) =
+  let { Protocol.seed; scale; _ } = ctx in
+  Report.section "fig6: mean stretch by shortcutting heuristic";
+  let n_big = Scale.big_n scale in
+  let topologies =
+    [
+      (Gen.As_level, n_big, "as-level");
+      (Gen.Router_level, n_big, "router-level");
+      (Gen.Geometric, n_big, Printf.sprintf "geometric-%d" n_big);
+      (Gen.Gnm, n_big, Printf.sprintf "gnm-%d" n_big);
+    ]
+  in
+  let columns =
+    List.map
+      (fun (kind, n, label) ->
+        let tb = Testbed.make ~seed kind ~n in
+        (label, Metrics.mean_stretch_by_heuristic ~pairs:600 tb))
+      topologies
+  in
+  let rows =
+    List.map
+      (fun h ->
+        Core.Shortcut.name h
+        :: List.map
+             (fun (_, col) -> Printf.sprintf "%.3f" (List.assoc h col))
+             columns)
+      Core.Shortcut.all
+  in
+  Report.table
+    ~header:("heuristic" :: List.map (fun (l, _) -> l) columns)
+    rows
+
+(* vicinity: ablation of the central constant. DESIGN.md §4 pins vicinities
+   at c * sqrt(n log n); shrinking c saves state but erodes the w.h.p.
+   guarantees (landmark-in-vicinity, group-member-in-vicinity) that the
+   stretch bounds rest on - this sweep shows where they break. *)
+let vicinity (ctx : Protocol.ctx) =
+  let { Protocol.seed; tel; _ } = ctx in
+  let n = 1024 in
+  Report.section
+    (Printf.sprintf "vicinity: state/stretch vs the vicinity constant; geometric n=%d" n);
+  let rows =
+    List.map
+      (fun factor ->
+        let params = { Core.Params.default with Core.Params.vicinity_factor = factor } in
+        let tb = Testbed.make ~seed ~params Gen.Geometric ~n in
+        let st = Metrics.state tb in
+        let rng = Testbed.rng tb ~purpose:51 in
+        let stretches = ref [] and fallbacks = ref 0 and total = ref 0 in
+        Engine.iter_pairs ~tel ~dests_per_src:4 ~pairs:800 rng tb.Testbed.graph
+          (fun ~src:s ~dst:t ~dist ->
+            incr total;
+            (match Core.Disco.classify_first tb.Testbed.disco ~src:s ~dst:t with
+            | Core.Disco.Resolution_fallback -> incr fallbacks
+            | _ -> ());
+            stretches :=
+              Engine.path_stretch tb.Testbed.graph ~dist
+                (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t)
+              :: !stretches);
+        let sr = Stats.summarize (Array.of_list !stretches) in
+        [
+          Printf.sprintf "%.2f" factor;
+          string_of_int (Core.Params.vicinity_size params ~n);
+          Printf.sprintf "%.0f" (Stats.mean st.Metrics.disco);
+          Printf.sprintf "%.3f" sr.Stats.mean;
+          Printf.sprintf "%.3f" sr.Stats.max;
+          Printf.sprintf "%.2f%%"
+            (100.0 *. float_of_int !fallbacks /. float_of_int (max 1 !total));
+        ])
+      [ 0.25; 0.5; 1.0; 2.0 ]
+  in
+  Report.table
+    ~header:
+      [ "factor"; "vicinity k"; "disco state mean"; "first stretch mean";
+        "first stretch max"; "fallback rate" ]
+    rows

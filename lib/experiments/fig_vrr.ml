@@ -1,0 +1,47 @@
+(* fig4/fig5: state, stretch and congestion with VRR on 1,024-node graphs. *)
+
+module Gen = Disco_graph.Gen
+
+let run ~kind ~fig_name (ctx : Protocol.ctx) =
+  let { Protocol.seed; _ } = ctx in
+  let n = 1024 in
+  Report.section
+    (Printf.sprintf "%s: state/stretch/congestion incl. VRR; %s n=%d" fig_name
+       (Gen.kind_name kind) n);
+  let tb = Testbed.make ~seed kind ~n in
+  let st = Metrics.state ~with_vrr:true tb in
+  Printf.printf " state (entries per node)\n";
+  Report.summary_line ~label:"disco" st.Metrics.disco;
+  Report.summary_line ~label:"nddisco" st.Metrics.nddisco;
+  Report.summary_line ~label:"s4" st.Metrics.s4;
+  Report.summary_line ~label:"pathvector" st.Metrics.pathvector;
+  (match st.Metrics.vrr with
+  | Some v -> Report.summary_line ~label:"vrr" v
+  | None -> ());
+  Report.cdf_series ~label:(fig_name ^ ".state.disco") st.Metrics.disco;
+  Report.cdf_series ~label:(fig_name ^ ".state.s4") st.Metrics.s4;
+  (match st.Metrics.vrr with
+  | Some v -> Report.cdf_series ~label:(fig_name ^ ".state.vrr") v
+  | None -> ());
+  let sr = Metrics.stretch ~pairs:1500 ~with_vrr:true tb in
+  Printf.printf " stretch (over src-dst pairs)\n";
+  Report.summary_line ~label:"disco-first" sr.Metrics.s_disco.Metrics.first;
+  Report.summary_line ~label:"disco-later" sr.Metrics.s_disco.Metrics.later;
+  Report.summary_line ~label:"s4-first" sr.Metrics.s_s4.Metrics.first;
+  Report.summary_line ~label:"s4-later" sr.Metrics.s_s4.Metrics.later;
+  (match sr.Metrics.s_vrr with
+  | Some v ->
+      Report.summary_line ~label:"vrr" v;
+      Report.kv "vrr route failures" (string_of_int sr.Metrics.vrr_failures)
+  | None -> ());
+  let c = Metrics.congestion ~with_vrr:true tb in
+  Printf.printf " congestion (paths per edge; tail matters)\n";
+  Report.summary_line ~label:"disco" c.Metrics.c_disco;
+  Report.summary_line ~label:"s4" c.Metrics.c_s4;
+  Report.summary_line ~label:"pathvector" c.Metrics.c_pathvector;
+  (match c.Metrics.c_vrr with
+  | Some v -> Report.summary_line ~label:"vrr" v
+  | None -> ())
+
+let fig4 ctx = run ~kind:Gen.Gnm ~fig_name:"fig4" ctx
+let fig5 ctx = run ~kind:Gen.Geometric ~fig_name:"fig5" ctx

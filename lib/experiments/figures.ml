@@ -1,909 +1,72 @@
-module Graph = Disco_graph.Graph
-module Gen = Disco_graph.Gen
-module Rng = Disco_util.Rng
-module Stats = Disco_util.Stats
-module Core = Disco_core
+(* The figure registry: each runner body lives in its own fig_* module;
+   this file only knows their names, their order, and the bookkeeping
+   every run shares (telemetry, wall-clock, the Results store). *)
 
-type scale = Small | Paper
+module Telemetry = Disco_util.Telemetry
 
-let scale_of_string = function
-  | "small" -> Some Small
-  | "paper" -> Some Paper
-  | _ -> None
+type scale = Scale.t = Small | Paper
 
-let big_n = function Small -> 4096 | Paper -> 16384
-let pairs_for = function Small -> 1500 | Paper -> 2000
+let scale_of_string = Scale.of_string
 
-let fig_topologies scale =
-  [ (Gen.Geometric, big_n scale); (Gen.As_level, big_n scale); (Gen.Router_level, big_n scale) ]
-
-(* fig1: the paper's protocol-comparison table, but measured. One
-   latency-weighted topology, every protocol's state and stretch side by
-   side; "scalable / low stretch / flat names" become numbers. *)
-let fig1 ~seed _scale =
-  let n = 1024 in
-  Report.section
-    (Printf.sprintf "fig1 (measured): all protocols on a geometric graph, n=%d" n);
-  let tb = Testbed.make ~seed Gen.Geometric ~n in
-  let g = tb.Testbed.graph in
-  let bvr = Disco_baselines.Bvr.build ~rng:(Testbed.rng tb ~purpose:41) g in
-  let seattle =
-    Disco_baselines.Seattle.build g
-      ~names:(Testbed.nd tb).Core.Nddisco.names
-  in
-  let vrr = Testbed.vrr tb in
-  let st = Metrics.state ~with_vrr:true tb in
-  let ws = Disco_graph.Dijkstra.make_workspace g in
-  let rng = Testbed.rng tb ~purpose:42 in
-  (* One pass of sampled pairs measured under every protocol. *)
-  let samples = Hashtbl.create 8 in
-  let push key v =
-    Hashtbl.replace samples key
-      (v :: Option.value ~default:[] (Hashtbl.find_opt samples key))
-  in
-  let bvr_failures = ref 0 in
-  for _ = 1 to 250 do
-    let s = Rng.int rng n in
-    let sp = Disco_graph.Dijkstra.sssp ~ws g s in
-    for _ = 1 to 4 do
-      let t = Rng.int rng n in
-      let d = sp.Disco_graph.Dijkstra.dist.(t) in
-      if t <> s && d > 0.0 && d < infinity then begin
-        let stretch path = Metrics.path_stretch g ~dist:d path in
-        push `Disco_first (stretch (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t));
-        push `Disco_later (stretch (Core.Disco.route_later tb.Testbed.disco ~src:s ~dst:t));
-        push `Nd_first (stretch (Core.Nddisco.route_first (Testbed.nd tb) ~src:s ~dst:t));
-        push `S4_first (stretch (Disco_baselines.S4.route_first tb.Testbed.s4 ~src:s ~dst:t));
-        push `S4_later (stretch (Disco_baselines.S4.route_later tb.Testbed.s4 ~src:s ~dst:t));
-        push `Seattle_first (stretch (Disco_baselines.Seattle.route_first seattle ~src:s ~dst:t));
-        (match Disco_baselines.Vrr.route vrr ~src:s ~dst:t with
-        | Some p -> push `Vrr (stretch p)
-        | None -> ());
-        match Disco_baselines.Bvr.route bvr ~src:s ~dst:t with
-        | Some p -> push `Bvr (stretch p)
-        | None -> incr bvr_failures
-      end
-    done
-  done;
-  let stat key =
-    match Hashtbl.find_opt samples key with
-    | Some l ->
-        let s = Stats.summarize (Array.of_list l) in
-        Printf.sprintf "%.2f / %.2f" s.Stats.mean s.Stats.max
-    | None -> "-"
-  in
-  let state_of arr =
-    let s = Stats.summarize arr in
-    Printf.sprintf "%.0f / %.0f" s.Stats.mean s.Stats.max
-  in
-  let bvr_state =
-    state_of (Array.init n (fun v -> float_of_int (Disco_baselines.Bvr.state_entries bvr v)))
-  in
-  let seattle_state =
-    state_of
-      (Array.init n (fun v -> float_of_int (Disco_baselines.Seattle.state_entries seattle v)))
-  in
-  let vrr_state =
-    match st.Metrics.vrr with Some v -> state_of v | None -> "-"
-  in
-  Report.table
-    ~header:[ "protocol"; "state mean/max"; "first stretch mean/max"; "later"; "flat names" ]
-    [
-      [ "path vector"; state_of st.Metrics.pathvector; "1.00 / 1.00"; "1.00 / 1.00"; "no" ];
-      [ "seattle"; seattle_state; stat `Seattle_first; "1.00 / 1.00"; "lookup detour" ];
-      [ "bvr"; bvr_state; "-"; stat `Bvr; "lookup at beacons" ];
-      [ "vrr"; vrr_state; stat `Vrr; stat `Vrr; "yes, unbounded stretch" ];
-      [ "s4"; state_of st.Metrics.s4; stat `S4_first; stat `S4_later; "lookup detour" ];
-      [ "nddisco"; state_of st.Metrics.nddisco; stat `Nd_first; "<= first"; "no (addresses)" ];
-      [ "disco"; state_of st.Metrics.disco; stat `Disco_first; stat `Disco_later; "yes, stretch-bounded" ];
-    ];
-  Report.kv "bvr greedy failures (would scoped-flood)" (string_of_int !bvr_failures)
-
-(* fig2: per-node state CDFs on geometric / AS / router topologies. *)
-let fig2 ~seed scale =
-  Report.section
-    (Printf.sprintf "fig2: state CDF over nodes (Disco, NDDisco, S4); n=%d"
-       (big_n scale));
-  List.iter
-    (fun (kind, n) ->
-      let tb = Testbed.make ~seed kind ~n in
-      let st = Metrics.state tb in
-      Printf.printf " topology=%s\n" (Gen.kind_name kind);
-      Report.summary_line ~label:"disco" st.Metrics.disco;
-      Report.summary_line ~label:"nddisco" st.Metrics.nddisco;
-      Report.summary_line ~label:"s4" st.Metrics.s4;
-      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.disco" (Gen.kind_name kind)) st.Metrics.disco;
-      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.nddisco" (Gen.kind_name kind)) st.Metrics.nddisco;
-      Report.cdf_series ~label:(Printf.sprintf "fig2.%s.s4" (Gen.kind_name kind)) st.Metrics.s4)
-    (fig_topologies scale)
-
-(* fig3: stretch CDFs (first and later packets) on the same topologies. *)
-let fig3 ~seed scale =
-  Report.section
-    (Printf.sprintf "fig3: stretch CDF over src-dst pairs; n=%d" (big_n scale));
-  List.iter
-    (fun (kind, n) ->
-      let tb = Testbed.make ~seed kind ~n in
-      let st = Metrics.stretch ~pairs:(pairs_for scale) tb in
-      Printf.printf " topology=%s\n" (Gen.kind_name kind);
-      Report.summary_line ~label:"disco-first" st.Metrics.s_disco.Metrics.first;
-      Report.summary_line ~label:"disco-later" st.Metrics.s_disco.Metrics.later;
-      Report.summary_line ~label:"s4-first" st.Metrics.s_s4.Metrics.first;
-      Report.summary_line ~label:"s4-later" st.Metrics.s_s4.Metrics.later;
-      let pre = Printf.sprintf "fig3.%s" (Gen.kind_name kind) in
-      Report.cdf_series ~label:(pre ^ ".disco-first") st.Metrics.s_disco.Metrics.first;
-      Report.cdf_series ~label:(pre ^ ".disco-later") st.Metrics.s_disco.Metrics.later;
-      Report.cdf_series ~label:(pre ^ ".s4-first") st.Metrics.s_s4.Metrics.first;
-      Report.cdf_series ~label:(pre ^ ".s4-later") st.Metrics.s_s4.Metrics.later)
-    (fig_topologies scale)
-
-(* fig4/fig5: state, stretch and congestion with VRR on 1,024-node graphs. *)
-let fig45 ~seed ~kind ~fig_name =
-  let n = 1024 in
-  Report.section
-    (Printf.sprintf "%s: state/stretch/congestion incl. VRR; %s n=%d" fig_name
-       (Gen.kind_name kind) n);
-  let tb = Testbed.make ~seed kind ~n in
-  let st = Metrics.state ~with_vrr:true tb in
-  Printf.printf " state (entries per node)\n";
-  Report.summary_line ~label:"disco" st.Metrics.disco;
-  Report.summary_line ~label:"nddisco" st.Metrics.nddisco;
-  Report.summary_line ~label:"s4" st.Metrics.s4;
-  Report.summary_line ~label:"pathvector" st.Metrics.pathvector;
-  (match st.Metrics.vrr with
-  | Some v -> Report.summary_line ~label:"vrr" v
-  | None -> ());
-  Report.cdf_series ~label:(fig_name ^ ".state.disco") st.Metrics.disco;
-  Report.cdf_series ~label:(fig_name ^ ".state.s4") st.Metrics.s4;
-  (match st.Metrics.vrr with
-  | Some v -> Report.cdf_series ~label:(fig_name ^ ".state.vrr") v
-  | None -> ());
-  let sr = Metrics.stretch ~pairs:1500 ~with_vrr:true tb in
-  Printf.printf " stretch (over src-dst pairs)\n";
-  Report.summary_line ~label:"disco-first" sr.Metrics.s_disco.Metrics.first;
-  Report.summary_line ~label:"disco-later" sr.Metrics.s_disco.Metrics.later;
-  Report.summary_line ~label:"s4-first" sr.Metrics.s_s4.Metrics.first;
-  Report.summary_line ~label:"s4-later" sr.Metrics.s_s4.Metrics.later;
-  (match sr.Metrics.s_vrr with
-  | Some v ->
-      Report.summary_line ~label:"vrr" v;
-      Report.kv "vrr route failures" (string_of_int sr.Metrics.vrr_failures)
-  | None -> ());
-  let c = Metrics.congestion ~with_vrr:true tb in
-  Printf.printf " congestion (paths per edge; tail matters)\n";
-  Report.summary_line ~label:"disco" c.Metrics.c_disco;
-  Report.summary_line ~label:"s4" c.Metrics.c_s4;
-  Report.summary_line ~label:"pathvector" c.Metrics.c_pathvector;
-  (match c.Metrics.c_vrr with
-  | Some v -> Report.summary_line ~label:"vrr" v
-  | None -> ())
-
-(* fig6: mean stretch per shortcutting heuristic across four topologies. *)
-let fig6 ~seed scale =
-  Report.section "fig6: mean stretch by shortcutting heuristic";
-  let n_big = big_n scale in
-  let topologies =
-    [
-      (Gen.As_level, n_big, "as-level");
-      (Gen.Router_level, n_big, "router-level");
-      (Gen.Geometric, n_big, Printf.sprintf "geometric-%d" n_big);
-      (Gen.Gnm, n_big, Printf.sprintf "gnm-%d" n_big);
-    ]
-  in
-  let columns =
-    List.map
-      (fun (kind, n, label) ->
-        let tb = Testbed.make ~seed kind ~n in
-        (label, Metrics.mean_stretch_by_heuristic ~pairs:600 tb))
-      topologies
-  in
-  let rows =
-    List.map
-      (fun h ->
-        Core.Shortcut.name h
-        :: List.map
-             (fun (_, col) -> Printf.sprintf "%.3f" (List.assoc h col))
-             columns)
-      Core.Shortcut.all
-  in
-  Report.table
-    ~header:("heuristic" :: List.map (fun (l, _) -> l) columns)
-    rows
-
-(* fig7: state in entries and kilobytes (IPv4/IPv6 name sizes). *)
-let fig7 ~seed scale =
-  let n = big_n scale in
-  Report.section
-    (Printf.sprintf "fig7: state entries and KB on router-level topology; n=%d" n);
-  let tb = Testbed.make ~seed Gen.Router_level ~n in
-  let nd = Testbed.nd tb in
-  let st = Metrics.state tb in
-  let addr_bytes name_bytes w =
-    float_of_int
-      (name_bytes + Core.Address.byte_size ~name_bytes (Core.Nddisco.address nd w))
-  in
-  let mean_addr nb =
-    Stats.mean (Array.init (Graph.n tb.Testbed.graph) (fun w -> addr_bytes nb w))
-  in
-  (* Per-node bytes for the two route-table protocols: route entries cost
-     name + 2B of next-hop state; resolution/group mappings cost
-     name + address. *)
-  let nddisco_bytes nb v =
-    let resolution_entries =
-      Core.Resolution.entries_at tb.Testbed.disco.Core.Disco.resolution v
-    in
-    let d = Core.Nddisco.state_entries ~resolution_entries nd v in
-    float_of_int
-      ((d.Core.Nddisco.vicinity_entries + d.Core.Nddisco.landmark_entries)
-       * (nb + 2)
-      + (2 * d.Core.Nddisco.label_mappings))
-    +. (float_of_int d.Core.Nddisco.resolution_entries *. (mean_addr nb +. 0.0))
-  in
-  let cluster_sizes = Disco_baselines.S4.cluster_sizes tb.Testbed.s4 in
-  let resolution_loads = Disco_baselines.S4.resolution_loads tb.Testbed.s4 in
-  let s4_bytes nb v =
-    let entries =
-      Disco_baselines.S4.state_entries tb.Testbed.s4 ~cluster_sizes
-        ~resolution_loads v
-    in
-    let resolution = resolution_loads.(v) in
-    let labels = min (Graph.degree tb.Testbed.graph v) entries in
-    float_of_int ((entries - resolution - labels) * (nb + 2))
-    +. float_of_int (2 * labels)
-    +. (float_of_int resolution *. mean_addr nb)
-  in
-  let disco_bytes nb v = Core.Disco.state_bytes tb.Testbed.disco ~name_bytes:nb v in
-  let nn = Graph.n tb.Testbed.graph in
-  let collect f = Array.init nn f in
-  let row label entries bytes4 bytes16 =
-    let e = Stats.summarize entries in
-    let b4 = Stats.summarize bytes4 in
-    let b16 = Stats.summarize bytes16 in
-    [
-      label;
-      Printf.sprintf "%.1f" e.Stats.mean;
-      Printf.sprintf "%.0f" e.Stats.max;
-      Printf.sprintf "%.2f" (b4.Stats.mean /. 1024.0);
-      Printf.sprintf "%.2f" (b4.Stats.max /. 1024.0);
-      Printf.sprintf "%.2f" (b16.Stats.mean /. 1024.0);
-      Printf.sprintf "%.2f" (b16.Stats.max /. 1024.0);
-    ]
-  in
-  Report.table
-    ~header:
-      [ "scheme"; "entries-mean"; "entries-max"; "KB(IPv4)-mean"; "KB(IPv4)-max";
-        "KB(IPv6)-mean"; "KB(IPv6)-max" ]
-    [
-      row "s4" st.Metrics.s4 (collect (s4_bytes 4)) (collect (s4_bytes 16));
-      row "nddisco" st.Metrics.nddisco
-        (collect (nddisco_bytes 4))
-        (collect (nddisco_bytes 16));
-      row "disco" st.Metrics.disco (collect (disco_bytes 4)) (collect (disco_bytes 16));
-    ]
-
-(* fig8: messages per node until convergence, G(n,m) of increasing size. *)
-let fig8 ~seed scale =
-  Report.section "fig8: mean messages/node until convergence on G(n,m)";
-  let sizes =
-    match scale with
-    | Small -> [ 128; 256; 512; 1024 ]
-    | Paper -> [ 128; 256; 512; 1024; 1280 ]
-  in
-  let points = Messaging.sweep ~seed ~pv_cap:512 ~sizes () in
-  Report.table
-    ~header:[ "n"; "pathvector"; "s4"; "nddisco"; "disco-1f"; "disco-3f" ]
-    (List.map
-       (fun (p : Messaging.point) ->
-         [
-           string_of_int p.Messaging.n;
-           Printf.sprintf "%.0f%s" p.Messaging.pathvector
-             (if p.Messaging.pv_measured then "" else " (extrapolated)");
-           Printf.sprintf "%.0f" p.Messaging.s4;
-           Printf.sprintf "%.0f" p.Messaging.nddisco;
-           Printf.sprintf "%.0f" p.Messaging.disco_1f;
-           Printf.sprintf "%.0f" p.Messaging.disco_3f;
-         ])
-       points)
-
-(* fig9: mean stretch and mean state as n grows (geometric graphs). *)
-let fig9 ~seed scale =
-  Report.section "fig9: scaling on geometric graphs (mean stretch, mean state)";
-  let sizes =
-    match scale with
-    | Small -> [ 1024; 2048; 4096 ]
-    | Paper -> [ 2048; 4096; 8192; 16384 ]
-  in
-  List.iter
-    (fun n ->
-      let tb = Testbed.make ~seed Gen.Geometric ~n in
-      let sr = Metrics.stretch ~pairs:800 tb in
-      let st = Metrics.state tb in
-      let x = float_of_int n in
-      Report.series_point ~label:"fig9.stretch.disco-first" ~x
-        ~y:(Stats.mean sr.Metrics.s_disco.Metrics.first);
-      Report.series_point ~label:"fig9.stretch.disco-later" ~x
-        ~y:(Stats.mean sr.Metrics.s_disco.Metrics.later);
-      Report.series_point ~label:"fig9.stretch.s4-first" ~x
-        ~y:(Stats.mean sr.Metrics.s_s4.Metrics.first);
-      Report.series_point ~label:"fig9.stretch.s4-later" ~x
-        ~y:(Stats.mean sr.Metrics.s_s4.Metrics.later);
-      Report.series_point ~label:"fig9.state.disco" ~x ~y:(Stats.mean st.Metrics.disco);
-      Report.series_point ~label:"fig9.state.nddisco" ~x
-        ~y:(Stats.mean st.Metrics.nddisco);
-      Report.series_point ~label:"fig9.state.s4" ~x ~y:(Stats.mean st.Metrics.s4))
-    sizes
-
-(* fig10: congestion tail on the AS-level topology. *)
-let fig10 ~seed scale =
-  let n = big_n scale in
-  Report.section
-    (Printf.sprintf "fig10: congestion on AS-level topology; n=%d" n);
-  let tb = Testbed.make ~seed Gen.As_level ~n in
-  let c = Metrics.congestion tb in
-  Report.summary_line ~label:"disco" c.Metrics.c_disco;
-  Report.summary_line ~label:"s4" c.Metrics.c_s4;
-  Report.summary_line ~label:"pathvector" c.Metrics.c_pathvector;
-  let tail label samples =
-    let sorted = Array.copy samples in
-    Array.sort compare sorted;
-    let m = Array.length sorted in
-    let pick q = sorted.(min (m - 1) (int_of_float (q *. float_of_int m))) in
-    Report.kv
-      (label ^ " p99.9/p99.95/max")
-      (Printf.sprintf "%.0f / %.0f / %.0f" (pick 0.999) (pick 0.9995)
-         sorted.(m - 1))
-  in
-  tail "disco" c.Metrics.c_disco;
-  tail "s4" c.Metrics.c_s4;
-  tail "pathvector" c.Metrics.c_pathvector
-
-(* addr: §4.2 explicit-route address sizes on the router-level topology. *)
-let fig_addr ~seed scale =
-  let n = big_n scale in
-  Report.section
-    (Printf.sprintf
-       "addr: explicit-route address size on router-level topology; n=%d" n);
-  let tb = Testbed.make ~seed Gen.Router_level ~n in
-  let nd = Testbed.nd tb in
-  let sizes =
-    Array.init n (fun v ->
-        float_of_int (Core.Address.route_byte_size (Core.Nddisco.address nd v)))
-  in
-  Report.summary_line ~label:"route bytes" sizes;
-  Report.kv "paper (192k-node CAIDA router map)" "mean=2.93 p95=5 max=10.625";
-  (* Ablation: the fixed-width tree-address variant §4.2 rejects. The
-     paper's claim is that it "would actually increase the mean address
-     size in practice" — compare. *)
-  let ta = Core.Tree_address.build tb.Testbed.graph nd.Core.Nddisco.landmarks in
-  let fixed_bytes = float_of_int ((Core.Tree_address.bits ta + 7) / 8) in
-  Report.kv "tree-address variant"
-    (Printf.sprintf "fixed %d bits = %.0f bytes per address (vs %.2f mean explicit)"
-       (Core.Tree_address.bits ta) fixed_bytes (Stats.mean sizes));
-  Report.kv "paper's claim holds"
-    (if fixed_bytes > Stats.mean sizes then "yes (fixed > mean explicit)"
-     else "no at this scale")
-
-(* overlay: 1 vs 3 fingers, announcement hops and messages; then the
-   naive alternative §4.4 rejects — relaying group state through the
-   resolution landmarks — costed in bytes per refresh epoch. *)
-let fig_overlay ~seed _scale =
-  Report.section "overlay: address dissemination, 1 vs 3 fingers (G(n,m), n=1024)";
-  List.iter
-    (fun (s : Messaging.overlay_stats) ->
-      Report.kv
-        (Printf.sprintf "%d finger(s)" s.Messaging.fingers)
-        (Printf.sprintf
-           "announce hops mean=%.2f max=%d; dissemination msgs=%d; coverage=%.4f"
-           s.Messaging.mean_announce_hops s.Messaging.max_announce_hops
-           s.Messaging.dissemination_messages s.Messaging.coverage))
-    (Messaging.overlay_comparison ~seed ~n:1024 ());
-  (* Naive landmark relay: every node refreshes its address once per epoch;
-     the owner landmark must push it to every member of the node's group
-     ("the landmark would have to relay O~(sqrt n) addresses to each of
-     O~(sqrt n) nodes for a total of O~(n) bytes per minute", §4.4). *)
-  let n = 1024 in
-  let tb = Testbed.make ~seed Gen.Gnm ~n in
-  let nd = Testbed.nd tb in
-  let owners = Core.Resolution.owners_by_node tb.Testbed.disco.Core.Disco.resolution in
-  let addr_bytes w =
-    20 + Core.Address.byte_size ~name_bytes:20 (Core.Nddisco.address nd w)
-  in
-  let relay = Array.make n 0 in
-  for w = 0 to n - 1 do
-    let subscribers = Array.length (Core.Groups.members tb.Testbed.disco.Core.Disco.groups w) - 1 in
-    relay.(owners.(w)) <- relay.(owners.(w)) + (subscribers * addr_bytes w)
-  done;
-  let landmark_loads =
-    Array.to_list relay |> List.filter (fun b -> b > 0) |> List.map float_of_int
-    |> Array.of_list
-  in
-  let naive = Stats.summarize landmark_loads in
-  (* Overlay: each node forwards each announcement it first receives to a
-     constant number of overlay links. *)
-  let groups = tb.Testbed.disco.Core.Disco.groups in
-  let overlay = Core.Overlay.build ~rng:(Testbed.rng tb ~purpose:71) ~fingers:1 nd groups in
-  let d = Core.Overlay.disseminate overlay in
-  let mean_addr =
-    Stats.mean (Array.init n (fun w -> float_of_int (addr_bytes w)))
-  in
-  let overlay_per_node =
-    float_of_int d.Core.Overlay.messages /. float_of_int n *. mean_addr
-  in
-  Report.kv "naive landmark relay (bytes/landmark/epoch)"
-    (Printf.sprintf "mean %.0f, max %.0f (concentrated on the %d owner landmarks)"
-       naive.Stats.mean naive.Stats.max (Array.length landmark_loads));
-  Report.kv "overlay dissemination (bytes/node/epoch)"
-    (Printf.sprintf "%.0f, spread evenly" overlay_per_node)
-
-(* nerror: random error in each node's estimate of n (§5). n = 2048 puts
-   the group-width boundary (k flips at n ~ 1844) inside the error range,
-   so nodes genuinely disagree on the grouping — at n = 1024 even ±60%
-   error leaves every node with the same k and the experiment shows
-   nothing. *)
-let fig_nerror ~seed _scale =
-  Report.section "nerror: error in estimating n (G(n,m), n=2048)";
-  let n = 2048 in
-  let rng = Rng.create ((seed * 31337) + 5) in
-  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
-  let nd = Core.Nddisco.build ~rng graph in
-  List.iter
-    (fun error ->
-      let est_rng = Rng.create ((seed * 7) + int_of_float (error *. 100.0)) in
-      let n_estimates =
-        Array.init n (fun _ ->
-            let factor = 1.0 +. Rng.float est_rng (2.0 *. error) -. error in
-            max 2 (int_of_float (float_of_int n *. factor)))
-      in
-      let groups =
-        Core.Groups.build_with_estimates ~hashes:nd.Core.Nddisco.hashes ~n_estimates
-      in
-      let disco = Core.Disco.of_nddisco ~rng:(Rng.create (seed + 77)) ~groups nd in
-      (* Sampled pairs: how often does the group mechanism fail over to the
-         resolution database, and what's the mean first-packet stretch? *)
-      let pair_rng = Rng.create (seed + 991) in
-      let ws = Disco_graph.Dijkstra.make_workspace graph in
-      let fallbacks = ref 0 and total = ref 0 in
-      let stretches = ref [] in
-      for _ = 1 to 300 do
-        let s = Rng.int pair_rng n in
-        let sp = Disco_graph.Dijkstra.sssp ~ws graph s in
-        for _ = 1 to 5 do
-          let t = Rng.int pair_rng n in
-          if t <> s then begin
-            incr total;
-            (match Core.Disco.classify_first disco ~src:s ~dst:t with
-            | Core.Disco.Resolution_fallback -> incr fallbacks
-            | _ -> ());
-            let dist = sp.Disco_graph.Dijkstra.dist.(t) in
-            if dist > 0.0 && dist < infinity then
-              stretches :=
-                Metrics.path_stretch graph ~dist
-                  (Core.Disco.route_first disco ~src:s ~dst:t)
-                :: !stretches
-          end
-        done
-      done;
-      Report.kv
-        (Printf.sprintf "error ±%.0f%%" (error *. 100.0))
-        (Printf.sprintf "fallback rate=%.4f mean first stretch=%.4f"
-           (float_of_int !fallbacks /. float_of_int (max 1 !total))
-           (Stats.mean (Array.of_list !stretches))))
-    [ 0.0; 0.4; 0.6 ]
-
-(* synopsis: §4.1 estimate-n accuracy via synopsis diffusion. The sketch
-   of a fixed name set is deterministic, so one run is a single
-   realization; salt the names over several runs and report the average
-   absolute error, matching the paper's "within 10% on average". *)
-let fig_synopsis ~seed _scale =
-  Report.section "synopsis: estimating n by synopsis diffusion (G(n,m), n=1024)";
-  let n = 1024 in
-  let rng = Rng.create (seed * 13) in
-  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
-  let runs = 8 in
-  List.iter
-    (fun buckets ->
-      let bytes = ref 0 and msgs = ref 0 and rounds = ref 0 in
-      let errors =
-        Array.init runs (fun salt ->
-            let node_name v = Printf.sprintf "run%d/%s" salt (Core.Name.default v) in
-            let o =
-              Disco_synopsis.Diffusion.estimate_n ~graph ~node_name ~buckets ()
-            in
-            bytes := o.Disco_synopsis.Diffusion.sketch_bytes;
-            msgs := o.Disco_synopsis.Diffusion.messages;
-            rounds := o.Disco_synopsis.Diffusion.rounds_run;
-            (* All nodes converge to the global sketch; read node 0. *)
-            Float.abs (o.Disco_synopsis.Diffusion.estimates.(0) -. float_of_int n)
-            /. float_of_int n)
-      in
-      Report.kv
-        (Printf.sprintf "%d buckets (%dB synopsis)" buckets !bytes)
-        (Printf.sprintf
-           "mean |error|=%.1f%% max |error|=%.1f%% over %d runs (rounds=%d msgs/run=%d)"
-           (100.0 *. Stats.mean errors)
-           (100.0 *. (Stats.summarize errors).Stats.max)
-           runs !rounds !msgs))
-    [ 32; 64; 128 ]
-
-(* churn: §4.2's factor-2 hysteresis rule for landmark status, vs the
-   naive policy of re-drawing on every estimate update. *)
-let fig_churn ~seed _scale =
-  Report.section "churn: landmark flips while n grows 1k -> ~8k (+10%/step)";
-  let trajectory =
-    let rec go acc n k =
-      if k = 0 then List.rev acc else go ((n * 11 / 10) :: acc) (n * 11 / 10) (k - 1)
-    in
-    go [] 1024 22
-  in
-  List.iter
-    (fun hysteresis ->
-      let c =
-        Core.Landmark_churn.create ~rng:(Rng.create (seed * 3))
-          ~params:Core.Params.default ~hysteresis ~n0:1024
-      in
-      List.iter (fun n -> ignore (Core.Landmark_churn.observe c ~n)) trajectory;
-      Report.kv
-        (if hysteresis then "factor-2 hysteresis (the paper's rule)" else "naive re-draw")
-        (Printf.sprintf "%d total status flips; %d landmarks at n=%d"
-           (Core.Landmark_churn.total_flips c)
-           (Core.Landmark_churn.landmark_count c)
-           (Core.Landmark_churn.population c)))
-    [ true; false ]
-
-(* policy: §6 — operators may choose landmarks non-randomly as long as
-   there are O~(sqrt n) of them and every vicinity contains one. Compare
-   random landmarks with degree-based selection on the AS-like topology. *)
-let fig_policy ~seed _scale =
-  Report.section "policy: random vs operator-chosen (highest-degree) landmarks";
-  let n = 2048 in
-  let rng = Rng.create (seed * 17) in
-  let graph = Gen.by_kind ~rng Gen.As_level ~n in
-  let expected = Core.Params.vicinity_size Core.Params.default ~n in
-  let by_degree =
-    let nodes = Array.init n Fun.id in
-    Array.sort (fun a b -> compare (Graph.degree graph b) (Graph.degree graph a)) nodes;
-    Array.sub nodes 0 expected
-  in
-  let measure label landmark_ids =
-    let nd = Core.Nddisco.build ?landmark_ids ~rng:(Rng.create (seed + 1)) graph in
-    let disco = Core.Disco.of_nddisco ~rng:(Rng.create (seed + 2)) nd in
-    let ws = Disco_graph.Dijkstra.make_workspace graph in
-    let pair_rng = Rng.create (seed + 3) in
-    let stretches = ref [] in
-    for _ = 1 to 200 do
-      let s = Rng.int pair_rng n in
-      let sp = Disco_graph.Dijkstra.sssp ~ws graph s in
-      for _ = 1 to 5 do
-        let t = Rng.int pair_rng n in
-        let dist = sp.Disco_graph.Dijkstra.dist.(t) in
-        if t <> s && dist > 0.0 && dist < infinity then
-          stretches :=
-            Metrics.path_stretch graph ~dist (Core.Disco.route_first disco ~src:s ~dst:t)
-            :: !stretches
-      done
-    done;
-    let addr_bytes =
-      Array.init n (fun v ->
-          float_of_int (Core.Address.route_byte_size (Core.Nddisco.address nd v)))
-    in
-    Report.kv label
-      (Printf.sprintf
-         "landmarks=%d mean first stretch=%.3f mean address=%.2fB max address=%.0fB"
-         (Core.Landmarks.count nd.Core.Nddisco.landmarks)
-         (Stats.mean (Array.of_list !stretches))
-         (Stats.mean addr_bytes)
-         (Stats.summarize addr_bytes).Stats.max)
-  in
-  measure "random (the default)" None;
-  measure "highest-degree" (Some by_degree)
-
-(* control: Theorem 2 — control-plane state is O(delta sqrt(n log n))
-   under plain path vector but O(sqrt(n log n)) with forgetful routing. *)
-let fig_control ~seed scale =
-  let n = match scale with Small -> 4096 | Paper -> 16384 in
-  Report.section
-    (Printf.sprintf "control: control-plane state, plain vs forgetful routing; router-level n=%d" n);
-  let tb = Testbed.make ~seed Gen.Router_level ~n in
-  let nd = Testbed.nd tb in
-  let data_entries v =
-    Core.Nddisco.total_entries (Core.Nddisco.state_entries nd v)
-  in
-  let plain =
-    Array.init n (fun v ->
-        float_of_int (Graph.degree tb.Testbed.graph v * data_entries v))
-  in
-  let forgetful = Array.init n (fun v -> float_of_int (data_entries v)) in
-  Report.summary_line ~label:"plain path vector (delta x entries)" plain;
-  Report.summary_line ~label:"forgetful routing" forgetful;
-  (* Measured, not modeled: run the dynamic protocol and count the
-     adjacency-RIB entries a non-forgetful implementation would retain. *)
-  let mn = 1024 in
-  let rng = Rng.create (seed * 37) in
-  let graph = Gen.gnm ~rng ~n:mn ~m:(4 * mn) in
-  let dnd = Core.Nddisco.build ~rng graph in
-  let flags = dnd.Core.Nddisco.landmarks.Core.Landmarks.is_landmark in
-  let k = Core.Params.vicinity_size Core.Params.default ~n:mn in
-  let r =
-    Disco_pathvector.Pathvector.run ~graph
-      ~mode:(Disco_pathvector.Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
-  in
-  Printf.printf " measured on the event simulator (G(n,m), n=%d):
-" mn;
-  Report.summary_line ~label:"adjacency RIB (non-forgetful)"
-    (Array.map float_of_int r.Disco_pathvector.Pathvector.adj_rib_entries);
-  Report.summary_line ~label:"best routes only (forgetful)"
-    (Array.map float_of_int (Disco_pathvector.Pathvector.table_sizes r))
-
-(* dynamics: the event-driven protocol under a scripted life cycle —
-   cold start, a batch of late joins, a batch of fail-stop leaves —
-   reporting reachability and cumulative protocol messages over time.
-   (The paper's simulations measure initial convergence only and leave
-   "continuous churn to future work"; this experiment is that future
-   work.) *)
-let fig_dynamics ~seed _scale =
-  Report.section "dynamics: event-driven Disco under join/leave churn (G(n,m), n=128)";
-  let n = 128 in
-  let rng = Rng.create (seed * 23) in
-  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
-  let net = Disco_dynamic.Network.create ~rng ~graph ~n_estimate:n () in
-  let joiners = [ 9; 23; 77; 101 ] in
-  let leavers = [ 14; 60 ] in
-  let pair_rng = Rng.create (seed + 5) in
-  let pairs ~alive =
-    List.init 80 (fun _ -> (Rng.int pair_rng n, Rng.int pair_rng n))
-    |> List.filter (fun (s, d) -> s <> d && alive s && alive d)
-  in
-  for v = 0 to n - 1 do
-    if not (List.mem v joiners) then Disco_dynamic.Network.activate net v
-  done;
-  let report label ~alive =
-    Report.kv label
-      (Printf.sprintf "t=%5.0f msgs=%8d landmarks=%3d reachability=%.3f"
-         (Disco_dynamic.Network.now net)
-         (Disco_dynamic.Network.messages_sent net)
-         (Disco_dynamic.Network.landmark_count net)
-         (Disco_dynamic.Network.reachable_fraction net ~pairs:(pairs ~alive)))
-  in
-  let alive0 v = not (List.mem v joiners) in
-  Disco_dynamic.Network.run_until net 150.0;
-  report "after cold start" ~alive:alive0;
-  Disco_dynamic.Network.run_until net 400.0;
-  report "steady state" ~alive:alive0;
-  List.iter (Disco_dynamic.Network.activate net) joiners;
-  Disco_dynamic.Network.run_until net 800.0;
-  report "after 4 joins" ~alive:(fun _ -> true);
-  List.iter (Disco_dynamic.Network.deactivate net) leavers;
-  let alive2 v = not (List.mem v leavers) in
-  Disco_dynamic.Network.run_until net 900.0;
-  report "right after 2 fail-stops" ~alive:alive2;
-  Disco_dynamic.Network.run_until net 1500.0;
-  report "after soft-state repair" ~alive:alive2
-
-(* tradeoff: §6's open question — other points on the state/stretch curve,
-   via the generalized TZ hierarchy (k levels: stretch <= 2k-1, state
-   O~(n^{1/k})). *)
-let fig_tradeoff ~seed scale =
-  let n = match scale with Small -> 1024 | Paper -> 4096 in
-  Report.section
-    (Printf.sprintf "tradeoff: TZ hierarchy, stretch vs state; G(n,m) n=%d" n);
-  let rng = Rng.create (seed * 29) in
-  let graph = Gen.gnm ~rng ~n ~m:(4 * n) in
-  let ws = Disco_graph.Dijkstra.make_workspace graph in
-  let pair_rng = Rng.create (seed + 9) in
-  let sources = Array.init 100 (fun _ -> Rng.int pair_rng n) in
-  let rows =
-    List.map
-      (fun k ->
-        let tz =
-          Disco_baselines.Tz_hierarchy.build ~rng:(Rng.create (seed + k)) ~k graph
-        in
-        let states =
-          Array.init n (fun v -> float_of_int (Disco_baselines.Tz_hierarchy.state tz v))
-        in
-        let stretches = ref [] in
-        Array.iter
-          (fun s ->
-            let sp = Disco_graph.Dijkstra.sssp ~ws graph s in
-            for _ = 1 to 5 do
-              let t = Rng.int pair_rng n in
-              let d = sp.Disco_graph.Dijkstra.dist.(t) in
-              if t <> s && d > 0.0 && d < infinity then
-                stretches :=
-                  (Disco_baselines.Tz_hierarchy.route_length tz ~src:s ~dst:t /. d)
-                  :: !stretches
-            done)
-          sources;
-        let st = Stats.summarize states in
-        let sr = Stats.summarize (Array.of_list !stretches) in
-        [
-          string_of_int k;
-          Printf.sprintf "%.0f" (Disco_baselines.Tz_hierarchy.stretch_bound tz);
-          Printf.sprintf "%.3f" sr.Stats.mean;
-          Printf.sprintf "%.3f" sr.Stats.max;
-          Printf.sprintf "%.0f" st.Stats.mean;
-          Printf.sprintf "%.0f" st.Stats.max;
-        ])
-      [ 2; 3; 4 ]
-  in
-  let k1_row =
-    (* k = 1 is plain shortest-path state; no need to materialize n^2
-       bunch entries to report it. *)
-    [ "1"; "1"; "1.000"; "1.000"; string_of_int (n - 1); string_of_int (n - 1) ]
-  in
-  Report.table
-    ~header:[ "k"; "bound 2k-1"; "stretch-mean"; "stretch-max"; "state-mean"; "state-max" ]
-    (k1_row :: rows)
-
-(* fate: §2's fate-sharing argument, measured. "these solutions lack fate
-   sharing: a failure far from the source-destination path can disrupt
-   communication." Kill one uniform-random remote node and see whose
-   first packet dies: resolution-based lookup (S4) drags packets through
-   a hash-selected landmark anywhere in the network; Disco's lookup stays
-   inside the source's vicinity. *)
-let fig_fate ~seed scale =
-  let n = match scale with Small -> 1024 | Paper -> 4096 in
-  Report.section
-    (Printf.sprintf
-       "fate: flows disrupted by one random remote node failure; geometric n=%d" n);
-  let tb = Testbed.make ~seed Gen.Geometric ~n in
-  let rng = Testbed.rng tb ~purpose:31 in
-  let ws = Disco_graph.Dijkstra.make_workspace tb.Testbed.graph in
-  let trials = 1500 in
-  let disrupted_disco = ref 0
-  and disrupted_s4 = ref 0
-  and disrupted_sp = ref 0
-  and on_path = ref 0
-  and total = ref 0 in
-  for _ = 1 to trials do
-    let s = Rng.int rng n and t = Rng.int rng n and dead = Rng.int rng n in
-    if s <> t && dead <> s && dead <> t then begin
-      incr total;
-      let sp = Disco_graph.Dijkstra.sssp ~ws tb.Testbed.graph s in
-      let shortest =
-        Disco_graph.Dijkstra.path_of_parents
-          ~parent:(fun u -> sp.Disco_graph.Dijkstra.parent.(u))
-          ~src:s ~dst:t
-      in
-      let uses path = List.mem dead path in
-      if uses shortest then begin
-        (* The failure sits on the direct path: everyone suffers; exclude
-           it from the "remote failure" statistic. *)
-        incr on_path
-      end
-      else begin
-        if uses (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t) then
-          incr disrupted_disco;
-        if uses (Disco_baselines.S4.route_first tb.Testbed.s4 ~src:s ~dst:t) then
-          incr disrupted_s4;
-        if uses shortest then incr disrupted_sp
-      end
-    end
-  done;
-  let remote = !total - !on_path in
-  let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 remote) in
-  Report.kv "trials (remote failures only)" (string_of_int remote);
-  Report.kv "disco first packet disrupted" (Printf.sprintf "%.2f%%" (pct !disrupted_disco));
-  Report.kv "s4 first packet disrupted (resolution detour)"
-    (Printf.sprintf "%.2f%%" (pct !disrupted_s4));
-  Report.kv "shortest path disrupted" "0.00% (by construction)"
-
-(* vicinity: ablation of the central constant. DESIGN.md Â§4 pins vicinities
-   at c * sqrt(n log n); shrinking c saves state but erodes the w.h.p.
-   guarantees (landmark-in-vicinity, group-member-in-vicinity) that the
-   stretch bounds rest on - this sweep shows where they break. *)
-let fig_vicinity ~seed _scale =
-  let n = 1024 in
-  Report.section
-    (Printf.sprintf "vicinity: state/stretch vs the vicinity constant; geometric n=%d" n);
-  let rows =
-    List.map
-      (fun factor ->
-        let params = { Core.Params.default with Core.Params.vicinity_factor = factor } in
-        let tb = Testbed.make ~seed ~params Gen.Geometric ~n in
-        let st = Metrics.state tb in
-        let rng = Testbed.rng tb ~purpose:51 in
-        let ws = Disco_graph.Dijkstra.make_workspace tb.Testbed.graph in
-        let stretches = ref [] and fallbacks = ref 0 and total = ref 0 in
-        for _ = 1 to 200 do
-          let s = Rng.int rng n in
-          let sp = Disco_graph.Dijkstra.sssp ~ws tb.Testbed.graph s in
-          for _ = 1 to 4 do
-            let t = Rng.int rng n in
-            let d = sp.Disco_graph.Dijkstra.dist.(t) in
-            if t <> s && d > 0.0 && d < infinity then begin
-              incr total;
-              (match Core.Disco.classify_first tb.Testbed.disco ~src:s ~dst:t with
-              | Core.Disco.Resolution_fallback -> incr fallbacks
-              | _ -> ());
-              stretches :=
-                Metrics.path_stretch tb.Testbed.graph ~dist:d
-                  (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t)
-                :: !stretches
-            end
-          done
-        done;
-        let sr = Stats.summarize (Array.of_list !stretches) in
-        [
-          Printf.sprintf "%.2f" factor;
-          string_of_int (Core.Params.vicinity_size params ~n);
-          Printf.sprintf "%.0f" (Stats.mean st.Metrics.disco);
-          Printf.sprintf "%.3f" sr.Stats.mean;
-          Printf.sprintf "%.3f" sr.Stats.max;
-          Printf.sprintf "%.2f%%"
-            (100.0 *. float_of_int !fallbacks /. float_of_int (max 1 !total));
-        ])
-      [ 0.25; 0.5; 1.0; 2.0 ]
-  in
-  Report.table
-    ~header:
-      [ "factor"; "vicinity k"; "disco state mean"; "first stretch mean";
-        "first stretch max"; "fallback rate" ]
-    rows
-
-(* header: wire cost of the packet header under the default heuristic vs
-   Path Knowledge, which must carry the route's global node ids (Â§4.2). *)
-let fig_header ~seed _scale =
-  let n = 2048 in
-  Report.section
-    (Printf.sprintf "header: first-packet header bytes by heuristic; router-level n=%d" n);
-  let tb = Testbed.make ~seed Gen.Router_level ~n in
-  let rng = Testbed.rng tb ~purpose:61 in
-  let collect heuristic =
-    let sizes = ref [] in
-    for _ = 1 to 400 do
-      let s = Rng.int rng n and t = Rng.int rng n in
-      if s <> t then begin
-        let c = Core.Header.first_packet tb.Testbed.disco ~heuristic ~name_bytes:20 ~src:s ~dst:t in
-        sizes := float_of_int c.Core.Header.total :: !sizes
-      end
-    done;
-    Stats.summarize (Array.of_list !sizes)
-  in
-  let rows =
-    List.map
-      (fun h ->
-        let s = collect h in
-        [ Core.Shortcut.name h;
-          Printf.sprintf "%.1f" s.Stats.mean;
-          Printf.sprintf "%.0f" s.Stats.p95;
-          Printf.sprintf "%.0f" s.Stats.max ])
-      [ Core.Shortcut.No_path_knowledge; Core.Shortcut.Path_knowledge ]
-  in
-  Report.table ~header:[ "heuristic"; "header-bytes mean"; "p95"; "max" ] rows;
-  Report.kv "note" "20B self-certifying name included in every header"
-
-let runners =
+let runners : (string * (Protocol.ctx -> unit)) list =
   [
-    ("fig1", fig1);
-    ("header", fig_header);
-    ("vicinity", fig_vicinity);
-    ("fig2", fig2);
-    ("fig3", fig3);
-    ("fig4", fun ~seed _ -> fig45 ~seed ~kind:Gen.Gnm ~fig_name:"fig4");
-    ("fig5", fun ~seed _ -> fig45 ~seed ~kind:Gen.Geometric ~fig_name:"fig5");
-    ("fig6", fig6);
-    ("fig7", fig7);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("fig10", fig10);
-    ("addr", fig_addr);
-    ("overlay", fig_overlay);
-    ("nerror", fig_nerror);
-    ("synopsis", fig_synopsis);
-    ("churn", fig_churn);
-    ("policy", fig_policy);
-    ("control", fig_control);
-    ("dynamics", fig_dynamics);
-    ("tradeoff", fig_tradeoff);
-    ("fate", fig_fate);
+    ("fig1", Fig_compare.fig1);
+    ("header", Fig_address.header);
+    ("vicinity", Fig_stretch.vicinity);
+    ("fig2", Fig_state.fig2);
+    ("fig3", Fig_stretch.fig3);
+    ("fig4", Fig_vrr.fig4);
+    ("fig5", Fig_vrr.fig5);
+    ("fig6", Fig_stretch.fig6);
+    ("fig7", Fig_state.fig7);
+    ("fig8", Fig_messaging.fig8);
+    ("fig9", Fig_scaling.fig9);
+    ("fig10", Fig_congestion.fig10);
+    ("addr", Fig_address.addr);
+    ("overlay", Fig_messaging.overlay);
+    ("nerror", Fig_estimation.nerror);
+    ("synopsis", Fig_estimation.synopsis);
+    ("churn", Fig_estimation.churn);
+    ("policy", Fig_control.policy);
+    ("control", Fig_control.control);
+    ("dynamics", Fig_dynamics.dynamics);
+    ("tradeoff", Fig_scaling.tradeoff);
+    ("fate", Fig_congestion.fate);
   ]
 
 let all_ids = List.map fst runners
 
+let run_one ~seed scale id f =
+  Results.set_figure id;
+  let tel = Telemetry.create () in
+  let ctx = { Protocol.seed; scale; tel } in
+  let t0 = Engine.now () in
+  f ctx;
+  let elapsed = Engine.now () -. t0 in
+  Results.record
+    {
+      Results.figure = id;
+      router = "_figure";
+      samples = 0;
+      stretch_first_mean = Float.nan;
+      stretch_first_max = Float.nan;
+      stretch_later_mean = Float.nan;
+      stretch_later_max = Float.nan;
+      state_mean = Float.nan;
+      state_max = Float.nan;
+      failures = tel.Telemetry.route_failures;
+      route_calls = tel.Telemetry.route_calls;
+      resolution_fallbacks = tel.Telemetry.resolution_fallbacks;
+      messages = tel.Telemetry.messages_sent;
+      elapsed_s = elapsed;
+    };
+  Report.kv "cost"
+    (Printf.sprintf "%.1fs; %s" elapsed (Telemetry.to_string tel))
+
 let run ?(seed = 42) scale id =
   match List.assoc_opt id runners with
-  | Some f -> f ~seed scale
+  | Some f -> run_one ~seed scale id f
   | None -> invalid_arg (Printf.sprintf "Figures.run: unknown figure %S" id)
 
 let run_all ?(seed = 42) scale =
-  List.iter (fun (_, f) -> f ~seed scale) runners
+  List.iter (fun (id, f) -> run_one ~seed scale id f) runners

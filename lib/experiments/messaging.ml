@@ -44,7 +44,7 @@ let disco_extra_messages ~rng nd ~fingers =
   let d = Core.Overlay.disseminate overlay in
   !total + d.Core.Overlay.messages
 
-let sweep ?(seed = 42) ?(pv_cap = 512) ~sizes () =
+let sweep ?telemetry ?(seed = 42) ?(pv_cap = 512) ~sizes () =
   let points =
     List.map
       (fun n ->
@@ -58,21 +58,23 @@ let sweep ?(seed = 42) ?(pv_cap = 512) ~sizes () =
         let pv_measured = n <= pv_cap in
         let pv =
           if pv_measured then
-            per_node (Pathvector.run ~graph ~mode:Pathvector.Full) n
+            per_node (Pathvector.run ?telemetry ~graph ~mode:Pathvector.Full ()) n
           else 0.0 (* filled by extrapolation below *)
         in
         let nddisco_msgs =
           per_node
-            (Pathvector.run ~graph
-               ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }))
+            (Pathvector.run ?telemetry ~graph
+               ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+               ())
             n
         in
         let s4_msgs =
           per_node
-            (Pathvector.run ~graph
+            (Pathvector.run ?telemetry ~graph
                ~mode:
                  (Pathvector.Landmarks_and_radius
-                    { landmarks = flags; radius = landmarks.Core.Landmarks.dist }))
+                    { landmarks = flags; radius = landmarks.Core.Landmarks.dist })
+               ())
             n
         in
         let extra f =

@@ -18,10 +18,17 @@ type point = {
   disco_3f : float;
 }
 
-val sweep : ?seed:int -> ?pv_cap:int -> sizes:int list -> unit -> point list
+val sweep :
+  ?telemetry:Disco_util.Telemetry.t ->
+  ?seed:int ->
+  ?pv_cap:int ->
+  sizes:int list ->
+  unit ->
+  point list
 (** [pv_cap] bounds the sizes on which full path vector actually runs
     (default 512, extrapolating linearly above, as the paper does beyond
-    512 nodes). *)
+    512 nodes). [telemetry] counts every simulator message sent across the
+    sweep. *)
 
 type overlay_stats = {
   fingers : int;

@@ -14,43 +14,16 @@ type state_result = {
 }
 
 let state ?(with_vrr = false) (tb : Testbed.t) =
-  let n = Graph.n tb.graph in
-  let disco_entries =
-    Array.init n (fun v ->
-        float_of_int (Core.Disco.total_entries (Core.Disco.state_entries tb.disco v)))
-  in
-  let nddisco_entries =
-    Array.init n (fun v ->
-        let resolution_entries =
-          Core.Resolution.entries_at tb.disco.Core.Disco.resolution v
-        in
-        float_of_int
-          (Core.Nddisco.total_entries
-             (Core.Nddisco.state_entries ~resolution_entries (Testbed.nd tb) v)))
-  in
-  let cluster_sizes = S4.cluster_sizes tb.s4 in
-  let resolution_loads = S4.resolution_loads tb.s4 in
-  let s4_entries =
-    Array.init n (fun v ->
-        float_of_int (S4.state_entries tb.s4 ~cluster_sizes ~resolution_loads v))
-  in
-  let pv = Array.make n (float_of_int (n - 1)) in
-  let vrr_entries =
-    if with_vrr then
-      Some (Array.map float_of_int (Vrr.state_entries (Testbed.vrr tb)))
-    else None
-  in
+  let arr name = Engine.state_array (Routers.find_exn name) tb in
   {
-    disco = disco_entries;
-    nddisco = nddisco_entries;
-    s4 = s4_entries;
-    pathvector = pv;
-    vrr = vrr_entries;
+    disco = arr "disco";
+    nddisco = arr "nddisco";
+    s4 = arr "s4";
+    pathvector = arr "pathvector";
+    vrr = (if with_vrr then Some (arr "vrr") else None);
   }
 
-let path_stretch graph ~dist path =
-  if dist <= 0.0 then 1.0
-  else Dijkstra.path_length graph path /. dist
+let path_stretch = Engine.path_stretch
 
 type stretch_series = { first : float array; later : float array }
 
@@ -62,63 +35,35 @@ type stretch_result = {
   vrr_failures : int;
 }
 
-(* Sample [pairs] (src, dst) pairs grouped by source so one SSSP per source
-   serves all its destinations. *)
-let sample_pairs rng ~n ~pairs =
-  let dests_per_src = 8 in
-  let sources = max 1 ((pairs + dests_per_src - 1) / dests_per_src) in
-  List.init sources (fun _ ->
-      let s = Rng.int rng n in
-      let ds =
-        List.init dests_per_src (fun _ -> Rng.int rng n)
-        |> List.filter (fun d -> d <> s)
-        |> List.sort_uniq compare
-      in
-      (s, ds))
-
 let stretch ?(heuristic = Core.Shortcut.No_path_knowledge) ?(pairs = 2000)
     ?(with_vrr = false) (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let rng = Testbed.rng tb ~purpose:11 in
-  let groups = sample_pairs rng ~n ~pairs in
-  let ws = Dijkstra.make_workspace tb.graph in
+  let groups = Engine.draw_pairs rng ~n ~pairs in
   let vrr = if with_vrr then Some (Testbed.vrr tb) else None in
   let acc_df = ref [] and acc_dl = ref [] in
   let acc_nf = ref [] and acc_nl = ref [] in
   let acc_sf = ref [] and acc_sl = ref [] in
   let acc_v = ref [] in
   let vrr_failures = ref 0 in
-  List.iter
-    (fun (s, dests) ->
-      let sp = Dijkstra.sssp ~ws tb.graph s in
-      List.iter
-        (fun t ->
-          let dist = sp.Dijkstra.dist.(t) in
-          if dist < infinity && dist > 0.0 then begin
-            let st path = path_stretch tb.graph ~dist path in
-            acc_df :=
-              st (Core.Disco.route_first ~heuristic tb.disco ~src:s ~dst:t)
-              :: !acc_df;
-            acc_dl :=
-              st (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
-              :: !acc_dl;
-            acc_nf :=
-              st (Core.Nddisco.route_first ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
-              :: !acc_nf;
-            acc_nl :=
-              st (Core.Nddisco.route_later ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
-              :: !acc_nl;
-            acc_sf := st (S4.route_first tb.s4 ~src:s ~dst:t) :: !acc_sf;
-            acc_sl := st (S4.route_later tb.s4 ~src:s ~dst:t) :: !acc_sl;
-            match vrr with
-            | None -> ()
-            | Some v -> (
-                match Vrr.route v ~src:s ~dst:t with
-                | Some path -> acc_v := st path :: !acc_v
-                | None -> incr vrr_failures)
-          end)
-        dests)
-    groups;
+  Engine.iter_groups tb.graph groups (fun ~src:s ~dst:t ~dist ->
+      let st path = path_stretch tb.graph ~dist path in
+      acc_df := st (Core.Disco.route_first ~heuristic tb.disco ~src:s ~dst:t) :: !acc_df;
+      acc_dl := st (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t) :: !acc_dl;
+      acc_nf :=
+        st (Core.Nddisco.route_first ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
+        :: !acc_nf;
+      acc_nl :=
+        st (Core.Nddisco.route_later ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
+        :: !acc_nl;
+      acc_sf := st (S4.route_first tb.s4 ~src:s ~dst:t) :: !acc_sf;
+      acc_sl := st (S4.route_later tb.s4 ~src:s ~dst:t) :: !acc_sl;
+      match vrr with
+      | None -> ()
+      | Some v -> (
+          match Vrr.route v ~src:s ~dst:t with
+          | Some path -> acc_v := st path :: !acc_v
+          | None -> incr vrr_failures));
   let arr l = Array.of_list (List.rev !l) in
   {
     s_disco = { first = arr acc_df; later = arr acc_dl };
@@ -131,24 +76,17 @@ let stretch ?(heuristic = Core.Shortcut.No_path_knowledge) ?(pairs = 2000)
 let mean_stretch_by_heuristic ?(pairs = 1000) (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let rng = Testbed.rng tb ~purpose:12 in
-  let groups = sample_pairs rng ~n ~pairs in
-  let ws = Dijkstra.make_workspace tb.graph in
+  (* One draw shared by every heuristic: the table compares heuristics on
+     identical pairs. *)
+  let groups = Engine.draw_pairs rng ~n ~pairs in
   List.map
     (fun heuristic ->
       let acc = ref [] in
-      List.iter
-        (fun (s, dests) ->
-          let sp = Dijkstra.sssp ~ws tb.graph s in
-          List.iter
-            (fun t ->
-              let dist = sp.Dijkstra.dist.(t) in
-              if dist < infinity && dist > 0.0 then
-                acc :=
-                  path_stretch tb.graph ~dist
-                    (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
-                  :: !acc)
-            dests)
-        groups;
+      Engine.iter_groups tb.graph groups (fun ~src:s ~dst:t ~dist ->
+          acc :=
+            path_stretch tb.graph ~dist
+              (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
+            :: !acc);
       (heuristic, Disco_util.Stats.mean (Array.of_list !acc)))
     Core.Shortcut.all
 
@@ -159,6 +97,8 @@ type congestion_result = {
   c_vrr : float array option;
 }
 
+(* Congestion is not a sampled-pairs measurement: every node sources
+   exactly one flow, so it keeps its own (single) loop. *)
 let congestion ?(with_vrr = false) (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let m = Graph.m tb.graph in

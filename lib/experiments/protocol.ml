@@ -1,0 +1,38 @@
+module Telemetry = Disco_util.Telemetry
+
+module type ROUTER = sig
+  type t
+
+  val name : string
+  val flat_names : string
+  val build : Testbed.t -> t
+  val route_first : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
+  val route_later : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
+  val state_entries : t -> int -> int
+end
+
+type packed = (module ROUTER)
+
+let name_of (module R : ROUTER) = R.name
+
+type ctx = { seed : int; scale : Scale.t; tel : Telemetry.t }
+
+let registry : packed list ref = ref []
+
+let register ((module R : ROUTER) as m) =
+  if List.exists (fun p -> name_of p = R.name) !registry then
+    invalid_arg (Printf.sprintf "Protocol.register: duplicate router %S" R.name);
+  registry := !registry @ [ m ]
+
+let all () = !registry
+let names () = List.map name_of !registry
+let find name = List.find_opt (fun p -> name_of p = name) !registry
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Protocol.find_exn: unknown router %S (expected one of: %s)"
+           name
+           (String.concat ", " (names ())))

@@ -1,0 +1,71 @@
+(** The routing-scheme abstraction the whole evaluation runs on.
+
+    Krioukov et al. frame compact-routing schemes as one family differing
+    only in their state/stretch trade-off; [ROUTER] is that family as a
+    module type. Every scheme in the repo — Disco, NDDisco, S4, VRR, BVR,
+    SEATTLE, the TZ hierarchy and path vector — is registered here as a
+    first-class module (see {!module:Routers}), and the sampled-pairs
+    engine ({!module:Engine}), the figures, the bench harness and
+    [disco-sim] all select schemes by registry name.
+
+    Adding a scheme is a one-registration change:
+    + implement [ROUTER] (usually a thin adapter over an existing module),
+    + [Protocol.register (module My_router)] in {!module:Routers},
+    + done — [test_router_registry] picks it up and enforces the contract.
+*)
+
+module type ROUTER = sig
+  type t
+
+  val name : string
+  (** Registry key, e.g. ["disco"]; lowercase, unique. *)
+
+  val flat_names : string
+  (** How the scheme supports flat names (the fig1 column), e.g.
+      ["yes, stretch-bounded"] or ["lookup detour"]. *)
+
+  val build : Testbed.t -> t
+  (** Converged state over the testbed's graph. Adapters reuse the
+      testbed's shared instances (same landmark draw across schemes) and
+      its derived RNG streams, so builds are deterministic per seed. *)
+
+  val route_first :
+    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int -> int list option
+  (** First packet of a flow toward a flat name: whatever lookup the
+      scheme needs is included in the path. [None] means the scheme failed
+      to deliver (e.g. BVR stuck in a local minimum — the engine counts it
+      via [tel]). Adapters record scheme-internal events (resolution
+      fallbacks) on [tel]. *)
+
+  val route_later :
+    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int -> int list option
+  (** Packets after the handshake, when the source caches whatever the
+      first exchange taught it. Schemes without a handshake return the
+      same route as {!route_first}. *)
+
+  val state_entries : t -> int -> int
+  (** Data-plane routing-table entries at one node, per the paper's
+      accounting (§5.2). Never negative. *)
+end
+
+type packed = (module ROUTER)
+
+val name_of : packed -> string
+
+type ctx = { seed : int; scale : Scale.t; tel : Disco_util.Telemetry.t }
+(** What a figure runner receives: the seed, the scale, and the figure's
+    telemetry record (threaded into the engine and the simulator). *)
+
+val register : packed -> unit
+(** Append to the registry.
+    @raise Invalid_argument on a duplicate name. *)
+
+val all : unit -> packed list
+(** Registered routers, in registration order. Prefer
+    {!Routers.all}, which guarantees the built-in schemes are loaded. *)
+
+val names : unit -> string list
+val find : string -> packed option
+
+val find_exn : string -> packed
+(** @raise Invalid_argument with the known names on a miss. *)

@@ -1,0 +1,75 @@
+type entry = {
+  figure : string;
+  router : string;
+  samples : int;
+  stretch_first_mean : float;
+  stretch_first_max : float;
+  stretch_later_mean : float;
+  stretch_later_max : float;
+  state_mean : float;
+  state_max : float;
+  failures : int;
+  route_calls : int;
+  resolution_fallbacks : int;
+  messages : int;
+  elapsed_s : float;
+}
+
+let entries : entry list ref = ref []
+let current = ref "-"
+let reset () = entries := []
+let set_figure id = current := id
+let current_figure () = !current
+let record e = entries := e :: !entries
+let all () = List.rev !entries
+
+(* JSON by hand: the repo deliberately has no JSON dependency, and the
+   values are all numbers plus two identifier-like strings. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_field f =
+  (* NaN marks "no samples" (e.g. a state-only record); JSON has no NaN. *)
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let entry_to_json e =
+  String.concat ","
+    [
+      Printf.sprintf {|"figure":"%s"|} (escape e.figure);
+      Printf.sprintf {|"router":"%s"|} (escape e.router);
+      Printf.sprintf {|"samples":%d|} e.samples;
+      Printf.sprintf {|"stretch_first_mean":%s|} (float_field e.stretch_first_mean);
+      Printf.sprintf {|"stretch_first_max":%s|} (float_field e.stretch_first_max);
+      Printf.sprintf {|"stretch_later_mean":%s|} (float_field e.stretch_later_mean);
+      Printf.sprintf {|"stretch_later_max":%s|} (float_field e.stretch_later_max);
+      Printf.sprintf {|"state_mean":%s|} (float_field e.state_mean);
+      Printf.sprintf {|"state_max":%s|} (float_field e.state_max);
+      Printf.sprintf {|"failures":%d|} e.failures;
+      Printf.sprintf {|"route_calls":%d|} e.route_calls;
+      Printf.sprintf {|"resolution_fallbacks":%d|} e.resolution_fallbacks;
+      Printf.sprintf {|"messages":%d|} e.messages;
+      Printf.sprintf {|"elapsed_s":%s|} (float_field e.elapsed_s);
+    ]
+
+let to_json () =
+  let rows = List.map (fun e -> "  {" ^ entry_to_json e ^ "}") (all ()) in
+  "[\n" ^ String.concat ",\n" rows ^ "\n]\n"
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

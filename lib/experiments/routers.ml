@@ -1,0 +1,214 @@
+module Core = Disco_core
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
+module Telemetry = Disco_util.Telemetry
+
+(* RNG purposes for adapters that draw their own randomness; disjoint from
+   the figure runners' purposes (which start at 100 via Testbed.rng). *)
+let bvr_purpose = 41
+let tz_purpose = 43
+
+module Disco_router = struct
+  type t = Core.Disco.t
+
+  let name = "disco"
+  let flat_names = "yes, stretch-bounded"
+  let build (tb : Testbed.t) = tb.Testbed.disco
+
+  let route_first t ~tel ~src ~dst =
+    let path, case = Core.Disco.route_first_case t ~src ~dst in
+    (match case with
+    | Core.Disco.Resolution_fallback -> Telemetry.resolution_fallback tel
+    | _ -> ());
+    Some path
+
+  let route_later t ~tel:_ ~src ~dst = Some (Core.Disco.route_later t ~src ~dst)
+
+  let state_entries t v =
+    Core.Disco.total_entries (Core.Disco.state_entries t v)
+end
+
+module Nddisco_router = struct
+  (* NDDisco's contract assumes the source already knows the destination's
+     address; resolution load still sits on its landmarks. *)
+  type t = { nd : Core.Nddisco.t; resolution : Core.Resolution.t }
+
+  let name = "nddisco"
+  let flat_names = "no (addresses)"
+
+  let build (tb : Testbed.t) =
+    { nd = Testbed.nd tb; resolution = tb.Testbed.disco.Core.Disco.resolution }
+
+  let route_first t ~tel:_ ~src ~dst =
+    Some (Core.Nddisco.route_first t.nd ~src ~dst)
+
+  let route_later t ~tel:_ ~src ~dst =
+    Some (Core.Nddisco.route_later t.nd ~src ~dst)
+
+  let state_entries t v =
+    let resolution_entries = Core.Resolution.entries_at t.resolution v in
+    Core.Nddisco.total_entries
+      (Core.Nddisco.state_entries ~resolution_entries t.nd v)
+end
+
+module S4_router = struct
+  module S4 = Disco_baselines.S4
+
+  type t = {
+    s4 : S4.t;
+    cluster_sizes : int array;
+    resolution_loads : int array;
+  }
+
+  let name = "s4"
+  let flat_names = "lookup detour"
+
+  let build (tb : Testbed.t) =
+    let s4 = tb.Testbed.s4 in
+    {
+      s4;
+      cluster_sizes = S4.cluster_sizes s4;
+      resolution_loads = S4.resolution_loads s4;
+    }
+
+  let route_first t ~tel:_ ~src ~dst = Some (S4.route_first t.s4 ~src ~dst)
+  let route_later t ~tel:_ ~src ~dst = Some (S4.route_later t.s4 ~src ~dst)
+
+  let state_entries t v =
+    S4.state_entries t.s4 ~cluster_sizes:t.cluster_sizes
+      ~resolution_loads:t.resolution_loads v
+end
+
+module Vrr_router = struct
+  module Vrr = Disco_baselines.Vrr
+
+  type t = { vrr : Vrr.t; state : int array }
+
+  let name = "vrr"
+  let flat_names = "yes, unbounded stretch"
+
+  let build (tb : Testbed.t) =
+    let vrr = Testbed.vrr tb in
+    { vrr; state = Vrr.state_entries vrr }
+
+  (* VRR has no first/later distinction: every packet forwards greedily on
+     the virtual ring. *)
+  let route_first t ~tel:_ ~src ~dst = Vrr.route t.vrr ~src ~dst
+  let route_later = route_first
+  let state_entries t v = t.state.(v)
+end
+
+module Bvr_router = struct
+  module Bvr = Disco_baselines.Bvr
+
+  type t = Bvr.t
+
+  let name = "bvr"
+  let flat_names = "lookup at beacons"
+
+  let build (tb : Testbed.t) =
+    Bvr.build ~rng:(Testbed.rng tb ~purpose:bvr_purpose) tb.Testbed.graph
+
+  (* BVR packets always carry the destination's coordinate (looked up at
+     the beacons); greedy forwarding does not change after a handshake. *)
+  let route_first t ~tel:_ ~src ~dst = Bvr.route t ~src ~dst
+  let route_later = route_first
+  let state_entries t v = Bvr.state_entries t v
+end
+
+module Seattle_router = struct
+  module Seattle = Disco_baselines.Seattle
+
+  type t = Seattle.t
+
+  let name = "seattle"
+  let flat_names = "lookup detour"
+
+  let build (tb : Testbed.t) =
+    Seattle.build tb.Testbed.graph ~names:(Testbed.nd tb).Core.Nddisco.names
+
+  let route_first t ~tel:_ ~src ~dst = Some (Seattle.route_first t ~src ~dst)
+  let route_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
+  let state_entries t v = Seattle.state_entries t v
+end
+
+module Tz_router = struct
+  module Tz = Disco_baselines.Tz_hierarchy
+
+  type t = Tz.t
+
+  let name = "tz"
+  let flat_names = "no (hierarchy labels)"
+
+  let build (tb : Testbed.t) =
+    Tz.build ~rng:(Testbed.rng tb ~purpose:tz_purpose) ~k:2 tb.Testbed.graph
+
+  let route_first t ~tel:_ ~src ~dst = Tz.route t ~src ~dst
+  let route_later = route_first
+  let state_entries t v = Tz.state t v
+end
+
+module Pathvector_router = struct
+  (* Converged path vector holds a shortest path to every destination, so
+     routing is a shortest-path oracle; one SSSP is cached per source
+     because the engine samples destinations grouped by source. *)
+  type t = {
+    graph : Graph.t;
+    ws : Dijkstra.workspace;
+    mutable cached_src : int;
+    mutable sp : Dijkstra.sssp option;
+  }
+
+  let name = "pathvector"
+  let flat_names = "no"
+
+  let build (tb : Testbed.t) =
+    {
+      graph = tb.Testbed.graph;
+      ws = Dijkstra.make_workspace tb.Testbed.graph;
+      cached_src = -1;
+      sp = None;
+    }
+
+  let sssp t ~tel src =
+    match t.sp with
+    | Some sp when t.cached_src = src -> sp
+    | _ ->
+        Telemetry.sssp_run tel;
+        let sp = Dijkstra.sssp ~ws:t.ws t.graph src in
+        t.cached_src <- src;
+        t.sp <- Some sp;
+        sp
+
+  let route_first t ~tel ~src ~dst =
+    let sp = sssp t ~tel src in
+    if sp.Dijkstra.dist.(dst) = infinity then None
+    else
+      Some
+        (Dijkstra.path_of_parents
+           ~parent:(fun u -> sp.Dijkstra.parent.(u))
+           ~src ~dst)
+
+  let route_later = route_first
+  let state_entries t _ = Graph.n t.graph - 1
+end
+
+let () =
+  List.iter Protocol.register
+    [
+      (module Pathvector_router : Protocol.ROUTER);
+      (module Seattle_router);
+      (module Bvr_router);
+      (module Vrr_router);
+      (module S4_router);
+      (module Nddisco_router);
+      (module Disco_router);
+      (module Tz_router);
+    ]
+
+(* Going through these accessors (rather than Protocol's) guarantees the
+   registrations above have run, whatever the link order. *)
+let all () = Protocol.all ()
+let names () = Protocol.names ()
+let find = Protocol.find
+let find_exn = Protocol.find_exn

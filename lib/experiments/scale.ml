@@ -1,0 +1,16 @@
+module Gen = Disco_graph.Gen
+
+type t = Small | Paper
+
+let of_string = function
+  | "small" -> Some Small
+  | "paper" -> Some Paper
+  | _ -> None
+
+let to_string = function Small -> "small" | Paper -> "paper"
+let big_n = function Small -> 4096 | Paper -> 16384
+let pairs_for = function Small -> 1500 | Paper -> 2000
+
+let topologies scale =
+  [ (Gen.Geometric, big_n scale); (Gen.As_level, big_n scale);
+    (Gen.Router_level, big_n scale) ]

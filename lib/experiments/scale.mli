@@ -1,0 +1,19 @@
+(** Experiment scale: how big the synthetic topologies are.
+
+    [Small] shrinks everything so the whole suite finishes in minutes;
+    [Paper] uses the paper's sizes where feasible (the two CAIDA maps are
+    replaced by 16k-node synthetics — DESIGN.md §2). *)
+
+type t = Small | Paper
+
+val of_string : string -> t option
+val to_string : t -> string
+
+val big_n : t -> int
+(** Node count for the headline topologies. *)
+
+val pairs_for : t -> int
+(** Sampled source–destination pairs for stretch measurements. *)
+
+val topologies : t -> (Disco_graph.Gen.kind * int) list
+(** The three headline topologies (geometric, AS-level, router-level). *)

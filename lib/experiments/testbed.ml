@@ -4,7 +4,7 @@ module Core = Disco_core
 
 type t = {
   seed : int;
-  kind : Gen.kind;
+  kind : Gen.kind option;
   graph : Disco_graph.Graph.t;
   disco : Core.Disco.t;
   s4 : Disco_baselines.S4.t;
@@ -13,8 +13,7 @@ type t = {
 
 let rng_for seed purpose = Rng.create ((seed * 1_000_003) + purpose)
 
-let make ?(seed = 42) ?(params = Core.Params.default) kind ~n =
-  let graph = Gen.by_kind ~rng:(rng_for seed 1) kind ~n in
+let of_graph ?(seed = 42) ?(params = Core.Params.default) ?kind graph =
   let nd = Core.Nddisco.build ~params ~rng:(rng_for seed 2) graph in
   let disco = Core.Disco.of_nddisco ~rng:(rng_for seed 3) nd in
   let s4 =
@@ -23,6 +22,10 @@ let make ?(seed = 42) ?(params = Core.Params.default) kind ~n =
       ~rng:(rng_for seed 4) graph
   in
   { seed; kind; graph; disco; s4; vrr_cache = None }
+
+let make ?(seed = 42) ?(params = Core.Params.default) kind ~n =
+  let graph = Gen.by_kind ~rng:(rng_for seed 1) kind ~n in
+  of_graph ~seed ~params ~kind graph
 
 let vrr t =
   match t.vrr_cache with

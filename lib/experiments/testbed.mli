@@ -5,11 +5,16 @@
     one source of cross-protocol noise, as in the paper's methodology of
     §5.1 where S4 is run "as in [34] except that we use path vector ...
     making it more comparable to NDDisco"). VRR state is join-order
-    dependent and expensive, so it is built only on demand. *)
+    dependent and expensive, so it is built only on demand.
+
+    The {!module:Protocol} registry's [ROUTER] adapters are all built from
+    a [t], so every scheme in an experiment measures the same converged
+    world. *)
 
 type t = {
   seed : int;
-  kind : Disco_graph.Gen.kind;
+  kind : Disco_graph.Gen.kind option;
+      (** [None] when built from an externally supplied graph *)
   graph : Disco_graph.Graph.t;
   disco : Disco_core.Disco.t;  (** [disco.nd] is the NDDisco instance *)
   s4 : Disco_baselines.S4.t;
@@ -18,6 +23,15 @@ type t = {
 
 val make :
   ?seed:int -> ?params:Disco_core.Params.t -> Disco_graph.Gen.kind -> n:int -> t
+
+val of_graph :
+  ?seed:int ->
+  ?params:Disco_core.Params.t ->
+  ?kind:Disco_graph.Gen.kind ->
+  Disco_graph.Graph.t ->
+  t
+(** Converge the protocols over a pre-built graph (e.g. one loaded from an
+    edge-list file). Uses the same derived RNG streams as {!make}. *)
 
 val vrr : t -> Disco_baselines.Vrr.t
 (** Build VRR over the same graph (cached per testbed). *)

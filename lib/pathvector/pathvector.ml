@@ -51,9 +51,9 @@ let admission mode table ~node ~dest ~dist =
       else if dist < !worst_dist then `Accept_evict !worst
       else `Reject
 
-let run ~graph ~mode =
+let run ?telemetry ~graph ~mode () =
   let n = Graph.n graph in
-  let sim = Sim.create ~graph in
+  let sim = Sim.create ?telemetry ~graph () in
   let tables = Array.init n (fun _ -> Hashtbl.create 64) in
   (* (neighbor, dest) pairs for which an announcement would sit in a
      non-forgetful adjacency RIB. *)

@@ -40,8 +40,14 @@ type result = {
           this counter measures what forgetting saves. *)
 }
 
-val run : graph:Disco_graph.Graph.t -> mode:mode -> result
-(** Run to convergence (event queue drains) and return the tables. *)
+val run :
+  ?telemetry:Disco_util.Telemetry.t ->
+  graph:Disco_graph.Graph.t ->
+  mode:mode ->
+  unit ->
+  result
+(** Run to convergence (event queue drains) and return the tables. When
+    [telemetry] is given, every simulator message also counts there. *)
 
 val table_sizes : result -> int array
 (** Routing-table entry count per node, for state comparisons. *)

@@ -11,9 +11,10 @@ type 'msg t = {
   sent : int array;
   mutable total_sent : int;
   mutable processed : int;
+  telemetry : Disco_util.Telemetry.t option;
 }
 
-let create ~graph =
+let create ?telemetry ~graph () =
   {
     graph;
     events = Heap.create ();
@@ -22,6 +23,7 @@ let create ~graph =
     sent = Array.make (Graph.n graph) 0;
     total_sent = 0;
     processed = 0;
+    telemetry;
   }
 
 let set_handler t f = t.handler <- Some f
@@ -29,7 +31,10 @@ let time t = t.now
 
 let count_send t src =
   t.sent.(src) <- t.sent.(src) + 1;
-  t.total_sent <- t.total_sent + 1
+  t.total_sent <- t.total_sent + 1;
+  match t.telemetry with
+  | Some tel -> Disco_util.Telemetry.message_sent tel
+  | None -> ()
 
 let send t ~src ~dst msg =
   match Graph.edge_weight t.graph src dst with

@@ -11,7 +11,11 @@
 
 type 'msg t
 
-val create : graph:Disco_graph.Graph.t -> 'msg t
+val create :
+  ?telemetry:Disco_util.Telemetry.t -> graph:Disco_graph.Graph.t -> unit -> 'msg t
+(** [create ?telemetry ~graph ()] builds an empty simulator over [graph].
+    When [telemetry] is given, every message send is also counted there
+    (in addition to the simulator's own {!messages_sent} accounting). *)
 
 val set_handler : 'msg t -> (int -> src:int -> 'msg -> unit) -> unit
 (** [set_handler t f] installs the per-node message handler

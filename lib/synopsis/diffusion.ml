@@ -39,7 +39,7 @@ let estimate_n ~graph ~node_name ?(buckets = 64) ?rounds () =
         Fm_sketch.add s (node_name v);
         s)
   in
-  let sim = Sim.create ~graph in
+  let sim = Sim.create ~graph () in
   Sim.set_handler sim (fun node ~src:_ sketch ->
       Fm_sketch.merge_into sketches.(node) sketch);
   (* Round r at time r: every node pushes its current sketch to all

@@ -1,0 +1,42 @@
+type t = {
+  mutable route_calls : int;
+  mutable route_failures : int;
+  mutable resolution_fallbacks : int;
+  mutable messages_sent : int;
+  mutable sssp_runs : int;
+}
+
+let create () =
+  {
+    route_calls = 0;
+    route_failures = 0;
+    resolution_fallbacks = 0;
+    messages_sent = 0;
+    sssp_runs = 0;
+  }
+
+let reset t =
+  t.route_calls <- 0;
+  t.route_failures <- 0;
+  t.resolution_fallbacks <- 0;
+  t.messages_sent <- 0;
+  t.sssp_runs <- 0
+
+let route_call t = t.route_calls <- t.route_calls + 1
+let route_failure t = t.route_failures <- t.route_failures + 1
+let resolution_fallback t = t.resolution_fallbacks <- t.resolution_fallbacks + 1
+let message_sent t = t.messages_sent <- t.messages_sent + 1
+let sssp_run t = t.sssp_runs <- t.sssp_runs + 1
+
+let add ~into t =
+  into.route_calls <- into.route_calls + t.route_calls;
+  into.route_failures <- into.route_failures + t.route_failures;
+  into.resolution_fallbacks <- into.resolution_fallbacks + t.resolution_fallbacks;
+  into.messages_sent <- into.messages_sent + t.messages_sent;
+  into.sssp_runs <- into.sssp_runs + t.sssp_runs
+
+let to_string t =
+  Printf.sprintf
+    "route_calls=%d failures=%d fallbacks=%d messages=%d sssp_runs=%d"
+    t.route_calls t.route_failures t.resolution_fallbacks t.messages_sent
+    t.sssp_runs

@@ -1,0 +1,30 @@
+(** Lightweight instrumentation counters threaded through the protocol
+    surface ({!module:ROUTER} adapters), the sampled-pairs engine and the
+    event simulator, so every experiment can report its cost uniformly.
+
+    A [t] is a bag of mutable counters; sharing one across components
+    accumulates, and {!add} merges per-router records into a per-figure
+    one. No timing lives here — wall-clock is measured by the caller. *)
+
+type t = {
+  mutable route_calls : int;  (** route_first/route_later invocations *)
+  mutable route_failures : int;  (** routes that returned no path *)
+  mutable resolution_fallbacks : int;
+      (** first packets that fell back to the resolution database *)
+  mutable messages_sent : int;  (** protocol messages on the simulator *)
+  mutable sssp_runs : int;  (** shortest-path computations (engine oracles) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val route_call : t -> unit
+val route_failure : t -> unit
+val resolution_fallback : t -> unit
+val message_sent : t -> unit
+val sssp_run : t -> unit
+
+val add : into:t -> t -> unit
+(** Accumulate [t]'s counters into [into]. *)
+
+val to_string : t -> string
+(** One-line [key=value] rendering for report trailers. *)

@@ -39,4 +39,5 @@ let () =
       ("integration", Test_integration.suite);
       ("dynamic", Test_dynamic.suite);
       ("experiments", Test_experiments.suite);
+      ("router-registry", Test_router_registry.suite);
     ]

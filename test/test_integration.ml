@@ -18,7 +18,7 @@ let test_dynamic_vicinity_matches_static () =
   let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
   let r =
     Pathvector.run ~graph:g
-      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }) ()
   in
   (* Distance multisets of dynamic vicinities match the static ones. *)
   for v = 0 to n - 1 do
@@ -64,7 +64,7 @@ let test_dynamic_landmark_routes_match_static () =
   let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
   let r =
     Pathvector.run ~graph:g
-      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }) ()
   in
   for v = 0 to Graph.n g - 1 do
     Array.iter
@@ -110,7 +110,7 @@ let test_event_and_static_stretch_agree () =
   let k = Core.Vicinity.k nd.Core.Nddisco.vicinity in
   let r =
     Pathvector.run ~graph:g
-      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+      ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }) ()
   in
   (* Dynamic later-packet route: direct if in table, else via l_t table
      route + address route. *)

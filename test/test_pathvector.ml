@@ -3,7 +3,7 @@ module Dijkstra = Disco_graph.Dijkstra
 module Pathvector = Disco_pathvector.Pathvector
 
 let check_full_tables g =
-  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full () in
   let n = Graph.n g in
   for s = 0 to n - 1 do
     let sp = Dijkstra.sssp g s in
@@ -28,7 +28,7 @@ let test_full_weighted () =
 
 let test_paths_are_real () =
   let g = Helpers.random_graph ~n_min:10 ~n_max:25 7 in
-  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full () in
   Array.iteri
     (fun s table ->
       Hashtbl.iter
@@ -42,7 +42,7 @@ let test_paths_are_real () =
 
 let test_messages_positive () =
   let g = Helpers.random_graph 11 in
-  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full () in
   Alcotest.(check bool) "messages flowed" true (r.Pathvector.total_messages > 0);
   Alcotest.(check int) "per-node sums to total" r.Pathvector.total_messages
     (Array.fold_left ( + ) 0 r.Pathvector.messages_by_node);
@@ -64,7 +64,7 @@ let test_vicinity_mode_respects_k () =
   let flags = landmark_flags g [ 0 ] in
   let k = 5 in
   let r =
-    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }) ()
   in
   Array.iteri
     (fun v table ->
@@ -79,7 +79,7 @@ let test_vicinity_mode_finds_k_closest () =
   let flags = landmark_flags g [ 0 ] in
   let k = 6 in
   let r =
-    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k })
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k }) ()
   in
   (* The converged vicinity distances must equal the k smallest true
      distances (multiset equality; boundary ties may pick either node). *)
@@ -111,7 +111,7 @@ let test_landmarks_always_kept () =
   let ids = [ 1; 3 ] in
   let flags = landmark_flags g ids in
   let r =
-    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k = 2 })
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_k_closest { landmarks = flags; k = 2 }) ()
   in
   Array.iteri
     (fun v table ->
@@ -130,7 +130,7 @@ let test_radius_mode_matches_clusters () =
   let multi = Dijkstra.multi_source g (Array.of_list ids) in
   let radius = multi.Dijkstra.mdist in
   let r =
-    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_radius { landmarks = flags; radius })
+    Pathvector.run ~graph:g ~mode:(Pathvector.Landmarks_and_radius { landmarks = flags; radius }) ()
   in
   (* v holds a route to non-landmark w iff d(v,w) < d(w, l_w). Skip exact
      boundaries (e.g. v = l_w, where d(v,w) = radius(w)): the protocol sums
@@ -151,7 +151,7 @@ let test_radius_mode_matches_clusters () =
 
 let test_table_sizes () =
   let g = Helpers.random_graph 29 in
-  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full in
+  let r = Pathvector.run ~graph:g ~mode:Pathvector.Full () in
   let sizes = Pathvector.table_sizes r in
   Array.iter (fun s -> Alcotest.(check int) "full tables" (Graph.n g - 1) s) sizes
 

@@ -9,7 +9,7 @@ let line () =
 
 let test_delivery_and_latency () =
   let g = line () in
-  let sim = Sim.create ~graph:g in
+  let sim = Sim.create ~graph:g () in
   let log = ref [] in
   Sim.set_handler sim (fun node ~src msg -> log := (node, src, msg, Sim.time sim) :: !log);
   Sim.send sim ~src:0 ~dst:1 "hello";
@@ -22,13 +22,13 @@ let test_delivery_and_latency () =
   Alcotest.(check (float 1e-9)) "latency" 1.0 at
 
 let test_non_adjacent_rejected () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   Sim.set_handler sim (fun _ ~src:_ _ -> ());
   Alcotest.check_raises "not adjacent" (Invalid_argument "Sim.send: src and dst are not adjacent")
     (fun () -> Sim.send sim ~src:0 ~dst:2 "x")
 
 let test_send_direct () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   let got = ref false in
   Sim.set_handler sim (fun node ~src:_ _ -> if node = 2 then got := true);
   Sim.send_direct sim ~src:0 ~dst:2 ~latency:5.0 "overlay";
@@ -37,7 +37,7 @@ let test_send_direct () =
   Alcotest.(check (float 1e-9)) "time" 5.0 (Sim.time sim)
 
 let test_ordering () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   let order = ref [] in
   Sim.set_handler sim (fun _ ~src:_ msg -> order := msg :: !order);
   Sim.send_direct sim ~src:0 ~dst:1 ~latency:3.0 "late";
@@ -48,7 +48,7 @@ let test_ordering () =
     (List.rev !order)
 
 let test_message_accounting () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   Sim.set_handler sim (fun _ ~src:_ _ -> ());
   Sim.send sim ~src:0 ~dst:1 "a";
   Sim.send sim ~src:1 ~dst:2 "b";
@@ -60,7 +60,7 @@ let test_message_accounting () =
 let test_cascade () =
   (* Handler that relays along the line; checks handlers can send. *)
   let g = line () in
-  let sim = Sim.create ~graph:g in
+  let sim = Sim.create ~graph:g () in
   let reached = ref (-1) in
   Sim.set_handler sim (fun node ~src:_ msg ->
       reached := node;
@@ -71,7 +71,7 @@ let test_cascade () =
   Alcotest.(check (float 1e-9)) "accumulated latency" 3.0 (Sim.time sim)
 
 let test_schedule_timer () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   Sim.set_handler sim (fun _ ~src:_ _ -> ());
   let fired = ref 0.0 in
   Sim.schedule sim ~delay:7.5 (fun () -> fired := Sim.time sim);
@@ -79,7 +79,7 @@ let test_schedule_timer () =
   Alcotest.(check (float 1e-9)) "timer time" 7.5 !fired
 
 let test_until () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   Sim.set_handler sim (fun _ ~src:_ _ -> ());
   let fired = ref false in
   Sim.schedule sim ~delay:10.0 (fun () -> fired := true);
@@ -89,7 +89,7 @@ let test_until () =
   Alcotest.(check bool) "eventually" true !fired
 
 let test_no_handler_rejected () =
-  let sim = Sim.create ~graph:(line ()) in
+  let sim = Sim.create ~graph:(line ()) () in
   Alcotest.check_raises "no handler" (Invalid_argument "Sim.run: no handler installed")
     (fun () -> Sim.run sim)
 
