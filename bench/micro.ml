@@ -24,13 +24,16 @@ let tests () =
   let payload = String.init 256 (fun i -> Char.chr (i mod 256)) in
   [
     Test.make ~name:"sha256/256B"
-      (Staged.stage (fun () -> ignore (Disco_hash.Sha256.digest payload)));
+      (Staged.stage (fun () -> ignore (Disco_hash.Sha256.digest payload : string)));
     Test.make ~name:"dijkstra/sssp-1024"
-      (Staged.stage (fun () -> ignore (Disco_graph.Dijkstra.sssp ~ws g 0)));
+      (Staged.stage (fun () ->
+           ignore (Disco_graph.Dijkstra.sssp ~ws g 0 : Disco_graph.Dijkstra.sssp)));
     Test.make ~name:"dijkstra/k-closest-100"
       (Staged.stage (fun () ->
            let s, _ = next_pair () in
-           ignore (Disco_graph.Dijkstra.k_closest ~ws g s 100)));
+           ignore
+             (Disco_graph.Dijkstra.k_closest ~ws g s 100
+               : Disco_graph.Dijkstra.truncated)));
     Test.make ~name:"address/encode"
       (Staged.stage (fun () ->
            let v = fst (next_pair ()) in
@@ -38,15 +41,18 @@ let tests () =
              (Disco_core.Address.make g
                 ~route:
                   (Disco_core.Landmarks.address_route
-                     nd.Disco_core.Nddisco.landmarks v))));
+                     nd.Disco_core.Nddisco.landmarks v)
+               : Disco_core.Address.t)));
     Test.make ~name:"disco/route-first"
       (Staged.stage (fun () ->
            let s, t = next_pair () in
-           if s <> t then ignore (Disco_core.Disco.route_first disco ~src:s ~dst:t)));
+           if s <> t then
+             ignore (Disco_core.Disco.route_first disco ~src:s ~dst:t : int list)));
     Test.make ~name:"disco/route-later"
       (Staged.stage (fun () ->
            let s, t = next_pair () in
-           if s <> t then ignore (Disco_core.Disco.route_later disco ~src:s ~dst:t)));
+           if s <> t then
+             ignore (Disco_core.Disco.route_later disco ~src:s ~dst:t : int list)));
   ]
 
 let run () =

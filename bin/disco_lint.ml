@@ -1,0 +1,62 @@
+(* disco-lint: AST-level invariant checker for the disco tree.
+
+   Parses every .ml under the given roots (default: lib bin bench) and
+   enforces the rule catalogue in Lint.Rules (L1 determinism, L2 hash-space
+   discipline, L3 no swallowed exceptions, L4 no stray output, L5 no
+   Obj.magic / untyped ignore).  Exits non-zero iff any error-severity
+   diagnostic is reported. *)
+
+let usage = "disco-lint [--json] [--warn RULE] [--rules] [DIR|FILE]..."
+
+let print_catalogue () =
+  List.iter
+    (fun r ->
+      Printf.printf "%s %-28s %s\n    why:  %s\n    hint: %s\n" r.Lint.Rules.id
+        ("(" ^ r.Lint.Rules.title ^ ")")
+        (Lint.Diagnostic.severity_label r.Lint.Rules.default_severity)
+        r.Lint.Rules.rationale r.Lint.Rules.hint)
+    Lint.Rules.catalogue
+
+let () =
+  let json = ref false in
+  let show_rules = ref false in
+  let overrides = ref [] in
+  let roots = ref [] in
+  let demote rule =
+    match Lint.Rules.find rule with
+    | Some _ -> overrides := (rule, Lint.Diagnostic.Warning) :: !overrides
+    | None ->
+        Printf.eprintf "disco-lint: unknown rule %s\n" rule;
+        exit 2
+  in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit a machine-readable JSON summary");
+      ("--warn", Arg.String demote, "RULE demote RULE from error to warning");
+      ("--rules", Arg.Set show_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun d -> roots := d :: !roots) usage;
+  if !show_rules then begin
+    print_catalogue ();
+    exit 0
+  end;
+  let roots =
+    match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | r -> r
+  in
+  let files = Lint.Driver.collect_ml_files roots in
+  if files = [] then begin
+    Printf.eprintf "disco-lint: no .ml files under %s\n" (String.concat " " roots);
+    exit 2
+  end;
+  let summary = Lint.Driver.lint_files ~severity_overrides:!overrides files in
+  if !json then print_endline (Lint.Driver.summary_to_json summary)
+  else begin
+    List.iter
+      (fun d -> print_endline (Lint.Diagnostic.to_human d))
+      summary.Lint.Driver.diagnostics;
+    Printf.printf "disco-lint: %d files checked, %d errors, %d warnings\n"
+      summary.Lint.Driver.files summary.Lint.Driver.errors
+      summary.Lint.Driver.warnings
+  end;
+  exit (if summary.Lint.Driver.errors > 0 then 1 else 0)

@@ -20,7 +20,7 @@ let build ?beacons ?(routing_beacons = 10) ~rng graph =
         max 1 (int_of_float (ceil (sqrt (f *. (log f /. log 2.0)))))
   in
   let beacons = Rng.sample_without_replacement rng count n in
-  Array.sort compare beacons;
+  Array.sort Int.compare beacons;
   let runs = Array.map (fun b -> Dijkstra.sssp graph b) beacons in
   {
     graph;
@@ -41,7 +41,7 @@ let state_entries t v =
    t.beacons), per the BVR paper's C_k(d). *)
 let closest_beacons t dst =
   let idx = Array.init (Array.length t.beacons) Fun.id in
-  Array.sort (fun a b -> compare t.dist.(a).(dst) t.dist.(b).(dst)) idx;
+  Array.sort (fun a b -> Float.compare t.dist.(a).(dst) t.dist.(b).(dst)) idx;
   Array.sub idx 0 t.routing_beacons
 
 (* BVR's asymmetric distance: delta = 10 * (sum of overshoot toward the

@@ -55,7 +55,9 @@ let greedy_route ~graph ~vids ~tables ~usable ~src ~dst =
       Graph.iter_neighbors graph u (fun v _ -> if v = dst && usable v then direct := true);
       if !direct then Some (List.rev (dst :: u :: acc))
       else begin
-        let committed = if committed = Some u then None else committed in
+        let committed =
+          match committed with Some c when c = u -> None | c -> c
+        in
         (* Strictly better endpoint than anything committed so far? *)
         let best = ref None and best_d = ref bound in
         let consider endpoint =
@@ -130,7 +132,7 @@ let ring_neighbors ~vids ~ring ~r x =
       done;
       !out
     in
-    List.sort_uniq compare (collect 1 @ collect (-1))
+    List.sort_uniq Int.compare (collect 1 @ collect (-1))
   end
 
 let bfs_join_order rng graph =
@@ -219,7 +221,7 @@ let build ?(r = 4) ?names ~rng graph =
   Array.sort
     (fun a b ->
       let c = Hash_space.compare_unsigned vids.(a) vids.(b) in
-      if c <> 0 then c else compare a b)
+      if c <> 0 then c else Int.compare a b)
     full_ring;
   let final_vsets =
     Array.init n (fun x ->

@@ -12,7 +12,7 @@ let make hashes bits =
   Array.sort
     (fun a b ->
       let c = Hash_space.compare_unsigned hashes.(a) hashes.(b) in
-      if c <> 0 then c else compare a b)
+      if c <> 0 then c else Int.compare a b)
     sorted;
   { hashes; bits; sorted }
 
@@ -70,7 +70,7 @@ let prefix_range t ~width ~prefix =
 let members t v =
   let start, stop = prefix_range t ~width:t.bits.(v) ~prefix:(group_id t v) in
   let out = Array.sub t.sorted start (stop - start) in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let storers t v =

@@ -18,7 +18,7 @@ let group_by_hash (nd : Nddisco.t) groups v =
   Array.sort
     (fun a b ->
       let c = Hash_space.compare_unsigned nd.hashes.(a) nd.hashes.(b) in
-      if c <> 0 then c else compare a b)
+      if c <> 0 then c else Int.compare a b)
     ms;
   ms
 
@@ -28,8 +28,15 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
   in
   let n = Nddisco.n nd in
   let links = Array.make n [] in
+  (* Indexed edge membership: an undirected edge {a,b} keyed as a single
+     int, so the finger loop's duplicate check is O(1) instead of a linear
+     scan of the neighbor list (quadratic in degree over a node's draws). *)
+  let edge_set = Hashtbl.create (4 * n) in
+  let edge_key a b = if a < b then (a * n) + b else (b * n) + a in
+  let has_link a b = Hashtbl.mem edge_set (edge_key a b) in
   let add_link a b =
-    if a <> b then begin
+    if a <> b && not (has_link a b) then begin
+      Hashtbl.add edge_set (edge_key a b) ();
       links.(a) <- b :: links.(a);
       links.(b) <- a :: links.(b)
     end
@@ -83,7 +90,7 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
                 end
               end)
             ms;
-          if !best >= 0 && not (List.mem !best links.(v)) then begin
+          if !best >= 0 && not (has_link v !best) then begin
             add_link v !best;
             fingers_of.(v) <- !best :: fingers_of.(v);
             incr picked
@@ -95,7 +102,7 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
   let neighbor_sets =
     Array.map
       (fun l ->
-        let arr = Array.of_list (List.sort_uniq compare l) in
+        let arr = Array.of_list (List.sort_uniq Int.compare l) in
         arr)
       links
   in

@@ -22,7 +22,7 @@ let build (nd : Nddisco.t) =
   Array.sort
     (fun (a, va) (b, vb) ->
       let c = Hash_space.compare_unsigned a b in
-      if c <> 0 then c else compare va vb)
+      if c <> 0 then c else Int.compare va vb)
     sorted_hashes;
   { nd; ring; sorted_hashes; owner_cache = None }
 

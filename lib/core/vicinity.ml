@@ -43,7 +43,7 @@ let compute t v =
   done;
   (* Sort the three parallel arrays by member id for binary search. *)
   let idx = Array.init size Fun.id in
-  Array.sort (fun a b -> compare members.(a) members.(b)) idx;
+  Array.sort (fun a b -> Int.compare members.(a) members.(b)) idx;
   {
     members = Array.map (fun i -> members.(i)) idx;
     dists = Array.map (fun i -> dists.(i)) idx;
@@ -64,7 +64,7 @@ let find_index vw w =
   let found = ref (-1) in
   while !found < 0 && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = compare vw.members.(mid) w in
+    let c = Int.compare vw.members.(mid) w in
     if c = 0 then found := mid else if c < 0 then lo := mid + 1 else hi := mid - 1
   done;
   if !found < 0 then None else Some !found
@@ -99,7 +99,7 @@ let first_hop_count t v =
 
 let precompute_all t =
   for v = 0 to Graph.n t.graph - 1 do
-    ignore (view t v)
+    ignore (view t v : view)
   done
 
 let cached_count t = Hashtbl.length t.cache

@@ -219,8 +219,8 @@ let next_hop_toward nd dest =
 let unicast t ~src ~dst ~hops msg =
   Sim.send_direct t.sim ~src ~dst ~latency:(float_of_int (max 1 hops)) msg;
   for _ = 2 to hops do
+    (* account the relay hops; self-delivered hellos are inert *)
     Sim.send_direct t.sim ~src ~dst:src ~latency:0.0 Msg.Hello
-    |> ignore (* account the relay hops; self-delivered hellos are inert *)
   done
 
 let same_group nd origin_hash =
@@ -345,7 +345,7 @@ let rec addr_timer t v () =
         | None -> ());
         (* ...and gossip it through the sloppy group. *)
         refresh_fingers t nd;
-        ignore (store_addr t nd ~origin:v ~addr);
+        ignore (store_addr t nd ~origin:v ~addr : bool);
         gossip_addr t nd ~origin:v ~origin_hash:nd.hash ~addr ~exclude_direction:None));
     Sim.schedule t.sim ~delay:t.config.addr_interval (addr_timer t v)
   end

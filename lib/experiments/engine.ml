@@ -4,7 +4,7 @@ module Rng = Disco_util.Rng
 module Stats = Disco_util.Stats
 module Telemetry = Disco_util.Telemetry
 
-let now () = Unix.gettimeofday ()
+let now () = Telemetry.now_s ()
 
 let path_stretch graph ~dist path =
   if dist <= 0.0 then 1.0 else Dijkstra.path_length graph path /. dist

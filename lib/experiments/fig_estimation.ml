@@ -104,7 +104,7 @@ let churn (ctx : Protocol.ctx) =
         Core.Landmark_churn.create ~rng:(Rng.create (seed * 3))
           ~params:Core.Params.default ~hysteresis ~n0:1024
       in
-      List.iter (fun n -> ignore (Core.Landmark_churn.observe c ~n)) trajectory;
+      List.iter (fun n -> ignore (Core.Landmark_churn.observe c ~n : int)) trajectory;
       Report.kv
         (if hysteresis then "factor-2 hysteresis (the paper's rule)" else "naive re-draw")
         (Printf.sprintf "%d total status flips; %d landmarks at n=%d"

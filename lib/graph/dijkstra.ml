@@ -98,7 +98,7 @@ let distance ?ws g src dst =
       end
       else false
     in
-    ignore (run_dijkstra ws g [| src |] ~stop);
+    ignore (run_dijkstra ws g [| src |] ~stop : int);
     !result
   end
 

@@ -9,7 +9,7 @@ let connect_components b n rng weight_fn =
      We rebuild connectivity by probing all pairs via the built graph. *)
   let g = Graph.Builder.build b in
   for u = 0 to n - 1 do
-    Graph.iter_neighbors g u (fun v _ -> ignore (Union_find.union uf u v))
+    Graph.iter_neighbors g u (fun v _ -> ignore (Union_find.union uf u v : bool))
   done;
   if Union_find.count uf > 1 then begin
     let reps = Hashtbl.create 16 in
@@ -31,7 +31,7 @@ let connect_components b n rng weight_fn =
               else anchor
             in
             Graph.Builder.add_edge b u v (weight_fn u v);
-            ignore (Union_find.union uf u v))
+            ignore (Union_find.union uf u v : bool))
           rest
   end
 

@@ -19,7 +19,7 @@ let create ?(replicas = 1) ~owners ~owner_name () =
   Array.sort
     (fun (a, oa) (b, ob) ->
       let c = Hash_space.compare_unsigned a b in
-      if c <> 0 then c else compare oa ob)
+      if c <> 0 then c else Int.compare oa ob)
     points;
   { points; owner_ids = Array.copy owners }
 

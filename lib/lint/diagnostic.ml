@@ -1,0 +1,53 @@
+(* A single disco-lint finding, plus rendering to the two output formats.
+   This module is pure formatting: all printing happens in bin/disco_lint.ml
+   so the library itself obeys rule L4 (no stray output from libraries). *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let compare_by_position a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s\n  hint: %s" d.file d.line d.col
+    (severity_label d.severity) d.rule d.message d.hint
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s","hint":"%s"}|}
+    (json_escape d.file) d.line d.col (json_escape d.rule)
+    (severity_label d.severity) (json_escape d.message) (json_escape d.hint)

@@ -1,3 +1,8 @@
+(* Wall-clock reads live here (disco-lint L1 allowlist) so protocol code
+   stays bit-deterministic under a seed: [now_s] may feed timing telemetry
+   and reports, never routing or sampling decisions. *)
+let now_s () = Unix.gettimeofday ()
+
 type t = {
   mutable route_calls : int;
   mutable route_failures : int;

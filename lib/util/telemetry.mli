@@ -4,7 +4,12 @@
 
     A [t] is a bag of mutable counters; sharing one across components
     accumulates, and {!add} merges per-router records into a per-figure
-    one. No timing lives here — wall-clock is measured by the caller. *)
+    one. Wall-clock access also lives here ({!now_s}) so the rest of the
+    tree stays free of [Unix.gettimeofday] (disco-lint rule L1). *)
+
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch. Only for timing telemetry and
+    reports — never for protocol logic, which must be seed-deterministic. *)
 
 type t = {
   mutable route_calls : int;  (** route_first/route_later invocations *)

@@ -1,0 +1,5 @@
+(* L1 positive: ambient randomness and wall-clock reads in protocol code. *)
+let jitter () = Random.int 100
+let stamp () = Unix.gettimeofday ()
+let seed () = Random.self_init ()
+let cpu () = Sys.time ()

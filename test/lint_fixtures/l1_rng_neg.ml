@@ -1,0 +1,4 @@
+(* L1 negative: all randomness flows through the seeded Rng; no clock. *)
+let jitter rng = Disco_util.Rng.int rng 100
+let coin rng = Disco_util.Rng.bool rng
+let elapsed t0 t1 = t1 -. t0

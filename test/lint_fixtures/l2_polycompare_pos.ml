@@ -1,0 +1,6 @@
+(* L2 positive: polymorphic compare/equality/hash on protocol values. *)
+let order (a : int array) = Array.sort compare a
+let order' xs = List.sort Stdlib.compare xs
+let bucket v = Hashtbl.hash v
+let same_pair x y = (x, 0) = (y, 1)
+let differs x lbl = (x, lbl) <> (x, "other")

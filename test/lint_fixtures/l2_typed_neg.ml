@@ -1,0 +1,6 @@
+(* L2 negative: typed comparators and immediate-value equality only. *)
+let order (a : int array) = Array.sort Int.compare a
+let closer h a b = Hash_space.compare_unsigned a b < Hash_space.compare_unsigned a h
+let is_zero x = x = 0
+let not_self u v = u <> v
+let same_name a b = String.equal a b

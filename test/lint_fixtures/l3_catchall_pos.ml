@@ -1,0 +1,3 @@
+(* L3 positive: catch-alls that swallow every exception. *)
+let safe f = try f () with _ -> 0
+let lookup tbl k = match Hashtbl.find tbl k with v -> Some v | exception _ -> None

@@ -1,0 +1,4 @@
+(* L3 negative: specific exceptions, or bound-and-reraised. *)
+let safe f = try f () with Not_found -> 0
+let logged f = try f () with Invalid_argument msg -> failwith msg
+let reraise f = try f () with e -> raise e

@@ -1,0 +1,4 @@
+(* L4 positive: stdout writes from library code. *)
+let debug x = Printf.printf "x=%d\n" x
+let banner () = print_endline "starting"
+let trace s = print_string s

@@ -1,0 +1,4 @@
+(* L4 negative: libraries format strings and return them. *)
+let render x = Printf.sprintf "x=%d" x
+let describe t = Format.asprintf "%f" t
+let warn msg = Printf.eprintf "warning: %s\n" msg

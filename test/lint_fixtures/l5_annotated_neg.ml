@@ -1,0 +1,6 @@
+(* L5 negative: discards carry a type annotation, or drop a plain value. *)
+let drop f x = ignore (f x : int)
+let drop_value y = ignore y
+let bind f x =
+  let _result : bool = f x in
+  ()

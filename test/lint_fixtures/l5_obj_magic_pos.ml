@@ -1,0 +1,5 @@
+(* L5 positive: Obj.magic, and untyped discards of call results. *)
+let coerce x = Obj.magic x
+let drop f x = ignore (f x)
+let drop_pipe f x = f x |> ignore
+let drop_app f x = ignore @@ f x

@@ -1,0 +1,10 @@
+(* Waiver fixture: the first two violations are waived (trailing comment and
+   standalone line above); the third names the wrong rule, so its L2
+   diagnostic must survive. *)
+let order (a : int array) = Array.sort compare a (* disco-lint: allow L2 *)
+
+(* disco-lint: allow L5 benchmark-style discard *)
+let drop f x = ignore (f x)
+
+(* disco-lint: allow L4 *)
+let order2 (a : int array) = Array.sort compare a

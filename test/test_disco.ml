@@ -40,4 +40,5 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("experiments", Test_experiments.suite);
       ("router-registry", Test_router_registry.suite);
+      ("lint", Test_lint.suite);
     ]
