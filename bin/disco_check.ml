@@ -1,0 +1,136 @@
+(* disco-check: seeded property-based + differential testing of every
+   registered router.
+
+     disco-check --seed 42 --cases 200
+     disco-check --seed 42 --cases 200 --max-nodes 96 --scheme disco
+     disco-check --replay 'seed=123,family=gnm,n=32,pairs=4,workload=uniform,churn=0'
+     disco-check --cases 2000 --json --out report.json
+
+   Exit status 0 iff no invariant violation was found. On failure the
+   report includes, per counterexample, the shrunk scenario and the exact
+   command that replays it. *)
+
+open Cmdliner
+module Check = Disco_check
+module Protocol = Disco_experiments.Protocol
+module Routers = Disco_experiments.Routers
+
+let seed_arg = Disco_experiments.Cli.seed_term
+
+let cases_arg =
+  Arg.(value & opt int 50
+       & info [ "cases" ] ~docv:"N" ~doc:"Number of generated scenarios to run.")
+
+let max_nodes_arg =
+  Arg.(value & opt int 128
+       & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Largest topology size the generator may draw.")
+
+let scheme_arg =
+  Arg.(value & opt (some string) None
+       & info [ "scheme" ] ~docv:"NAME"
+           ~doc:"Check only this registered scheme (default: all).")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit the machine-readable JSON summary.")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Also write the JSON summary to $(docv).")
+
+let replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"SCENARIO"
+           ~doc:"Run one explicit scenario (the key=value form a failure \
+                 report prints) instead of generating cases.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress dots.")
+
+let routers_for scheme =
+  match scheme with
+  | None -> Ok (Routers.all ())
+  | Some name -> (
+      (* Touch the registry first so lazy registration has happened. *)
+      let all = Routers.all () in
+      match List.find_opt (fun p -> String.equal (Protocol.name_of p) name) all with
+      | Some p -> Ok [ p ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown scheme %S (known: %s)" name
+               (String.concat ", " (List.map Protocol.name_of all))))
+
+let emit ~json ~out summary =
+  let js = Check.Harness.to_json summary in
+  match
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc js;
+        output_char oc '\n';
+        close_out oc
+    | None -> ()
+  with
+  | () ->
+      if json then print_endline js else print_string (Check.Harness.report summary);
+      Ok ()
+  | exception Sys_error e -> Error (Printf.sprintf "cannot write report: %s" e)
+
+let run seed cases max_nodes scheme json out replay quiet =
+  match routers_for scheme with
+  | Error e -> `Error (false, e)
+  | Ok routers -> (
+      match replay with
+      | Some desc -> (
+          match Check.Scenario.of_string desc with
+          | Error e -> `Error (false, Printf.sprintf "bad --replay scenario: %s" e)
+          | Ok sc ->
+              let cx = Check.Harness.check_scenario ~routers sc in
+              let counterexamples = Option.to_list cx in
+              let summary =
+                {
+                  Check.Harness.run_seed = sc.Check.Scenario.seed;
+                  cases = 1;
+                  max_nodes = sc.Check.Scenario.n;
+                  schemes = List.map Protocol.name_of routers;
+                  total_pairs = sc.Check.Scenario.pairs;
+                  total_route_failures = 0;
+                  counterexamples;
+                }
+              in
+              match emit ~json ~out summary with
+              | Error e -> `Error (false, e)
+              | Ok () ->
+                  if counterexamples = [] then `Ok ()
+                  else `Error (false, "invariant violations found"))
+      | None ->
+          let on_case ~case ~failed =
+            if not (quiet || json) then begin
+              print_char (if failed then 'X' else '.');
+              if (case + 1) mod 50 = 0 then Printf.printf " %d\n" (case + 1);
+              flush stdout
+            end
+          in
+          let summary =
+            Check.Harness.run_cases ~routers ~on_case ~run_seed:seed ~cases
+              ~max_nodes ()
+          in
+          if not (quiet || json) then print_newline ();
+          match emit ~json ~out summary with
+          | Error e -> `Error (false, e)
+          | Ok () ->
+              if Check.Harness.passed summary then `Ok ()
+              else `Error (false, "invariant violations found"))
+
+let cmd =
+  let doc = "Property-based invariant checking for every registered router" in
+  Cmd.v
+    (Cmd.info "disco-check" ~doc)
+    Term.(
+      ret
+        (const run $ seed_arg $ cases_arg $ max_nodes_arg $ scheme_arg $ json_arg
+       $ out_arg $ replay_arg $ quiet_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -18,12 +18,10 @@ module Rng = Disco_util.Rng
 module Stats = Disco_util.Stats
 module Core = Disco_core
 
-let kind_of_string = function
-  | "as-level" -> Ok Gen.As_level
-  | "router-level" -> Ok Gen.Router_level
-  | "gnm" -> Ok Gen.Gnm
-  | "geometric" -> Ok Gen.Geometric
-  | s -> Error (Printf.sprintf "unknown topology kind %S" s)
+let kind_of_string s =
+  match Gen.kind_of_string s with
+  | Some k -> Ok k
+  | None -> Error (Printf.sprintf "unknown topology kind %S" s)
 
 let load_graph ~input ~kind ~n ~seed =
   match input with

@@ -1,0 +1,105 @@
+type counterexample = {
+  original : Scenario.t;
+  minimized : Scenario.t;
+  shrink_runs : int;
+  violations : Violation.t list;
+}
+
+type summary = {
+  run_seed : int;
+  cases : int;
+  max_nodes : int;
+  schemes : string list;
+  total_pairs : int;
+  total_route_failures : int;
+  counterexamples : counterexample list;
+}
+
+let passed s = s.counterexamples = []
+
+let shrink_failure ?routers ?spec_of ?shrink_budget sc =
+  let still_fails c = Runner.failed (Runner.run ?routers ?spec_of c) in
+  let minimized, shrink_runs = Shrink.minimize ?budget:shrink_budget ~still_fails sc in
+  let final = Runner.run ?routers ?spec_of minimized in
+  { original = sc; minimized; shrink_runs; violations = final.Runner.violations }
+
+let check_scenario ?routers ?spec_of ?shrink_budget sc =
+  let outcome = Runner.run ?routers ?spec_of sc in
+  if Runner.failed outcome then
+    Some (shrink_failure ?routers ?spec_of ?shrink_budget sc)
+  else None
+
+let run_cases ?routers ?spec_of ?shrink_budget ?on_case ~run_seed ~cases ~max_nodes
+    () =
+  let schemes = ref [] in
+  let total_pairs = ref 0 in
+  let total_route_failures = ref 0 in
+  let counterexamples = ref [] in
+  for case = 0 to cases - 1 do
+    let sc = Scenario.generate ~run_seed ~case ~max_nodes in
+    let outcome = Runner.run ?routers ?spec_of sc in
+    if !schemes = [] then schemes := outcome.Runner.schemes;
+    total_pairs := !total_pairs + outcome.Runner.pairs_checked;
+    total_route_failures := !total_route_failures + outcome.Runner.route_failures;
+    let failed = Runner.failed outcome in
+    if failed then
+      counterexamples := shrink_failure ?routers ?spec_of ?shrink_budget sc :: !counterexamples;
+    match on_case with Some f -> f ~case ~failed | None -> ()
+  done;
+  {
+    run_seed;
+    cases;
+    max_nodes;
+    schemes = !schemes;
+    total_pairs = !total_pairs;
+    total_route_failures = !total_route_failures;
+    counterexamples = List.rev !counterexamples;
+  }
+
+let report s =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "disco-check: seed=%d cases=%d max-nodes=%d\n" s.run_seed s.cases
+       s.max_nodes);
+  Buffer.add_string b
+    (Printf.sprintf "schemes: %s\n" (String.concat ", " s.schemes));
+  Buffer.add_string b
+    (Printf.sprintf "pairs checked: %d (legal route failures on greedy schemes: %d)\n"
+       s.total_pairs s.total_route_failures);
+  if passed s then Buffer.add_string b "PASS: no invariant violations\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "FAIL: %d counterexample(s)\n" (List.length s.counterexamples));
+    List.iteri
+      (fun i cx ->
+        Buffer.add_string b (Printf.sprintf "counterexample %d:\n" (i + 1));
+        Buffer.add_string b
+          (Printf.sprintf "  original:  %s\n" (Scenario.to_string cx.original));
+        Buffer.add_string b
+          (Printf.sprintf "  minimized: %s (%d shrink runs)\n"
+             (Scenario.to_string cx.minimized) cx.shrink_runs);
+        List.iter
+          (fun v -> Buffer.add_string b (Printf.sprintf "  - %s\n" (Violation.describe v)))
+          cx.violations;
+        Buffer.add_string b
+          (Printf.sprintf "  replay: %s\n" (Scenario.replay_command cx.minimized)))
+      s.counterexamples
+  end;
+  Buffer.contents b
+
+let counterexample_to_json cx =
+  Printf.sprintf
+    {|{"original":%s,"minimized":%s,"shrink_runs":%d,"replay":"%s","violations":[%s]}|}
+    (Scenario.to_json cx.original)
+    (Scenario.to_json cx.minimized)
+    cx.shrink_runs
+    (Scenario.to_string cx.minimized)
+    (String.concat "," (List.map Violation.to_json cx.violations))
+
+let to_json s =
+  Printf.sprintf
+    {|{"run_seed":%d,"cases":%d,"max_nodes":%d,"schemes":[%s],"total_pairs":%d,"total_route_failures":%d,"passed":%b,"counterexamples":[%s]}|}
+    s.run_seed s.cases s.max_nodes
+    (String.concat "," (List.map (fun n -> Printf.sprintf "%S" n) s.schemes))
+    s.total_pairs s.total_route_failures (passed s)
+    (String.concat "," (List.map counterexample_to_json s.counterexamples))

@@ -68,4 +68,28 @@ let route t v =
   in
   walk lm []
 
+let encode_label t v =
+  let writer = Disco_util.Bits.Writer.create () in
+  Disco_util.Bits.Writer.put writer t.labels.(v) ~width:t.bits;
+  Disco_util.Bits.Writer.to_bytes writer
+
+let decode_label t ~landmark bytes =
+  let reader = Disco_util.Bits.Reader.of_bytes bytes in
+  let target = Disco_util.Bits.Reader.get reader ~width:t.bits in
+  if target < t.labels.(landmark) || target >= t.range_hi.(landmark) then
+    invalid_arg "Tree_address.decode_label: label outside landmark's block";
+  let rec walk u =
+    if t.labels.(u) = target then u
+    else begin
+      match
+        List.find_opt
+          (fun c -> t.labels.(c) <= target && target < t.range_hi.(c))
+          t.children.(u)
+      with
+      | Some c -> walk c
+      | None -> invalid_arg "Tree_address.decode_label: label not in any child block"
+    end
+  in
+  walk landmark
+
 let byte_size ~name_bytes t = name_bytes + ((t.bits + 7) / 8)

@@ -198,3 +198,8 @@ let kind_name = function
   | Router_level -> "router-level"
   | Gnm -> "gnm"
   | Geometric -> "geometric"
+
+let all_kinds = [ As_level; Router_level; Gnm; Geometric ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (kind_name k) s) all_kinds

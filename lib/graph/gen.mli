@@ -55,3 +55,9 @@ val by_kind : rng:Disco_util.Rng.t -> kind -> n:int -> Graph.t
     average degree 8 as in the paper. *)
 
 val kind_name : kind -> string
+
+val all_kinds : kind list
+(** Every generator family, in a fixed order (CLIs and sweeps iterate it). *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name}. *)

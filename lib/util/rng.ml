@@ -17,6 +17,10 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed }
 
+let derive seed i =
+  let z = mix64 (Int64.add (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int (i + 1)))) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let copy t = { state = t.state }
 
 let int t bound =

@@ -15,6 +15,12 @@ val split : t -> t
 (** [split t] derives an independent generator; [t] advances. Use to give
     each node or each experiment phase its own stream. *)
 
+val derive : int -> int -> int
+(** [derive seed i] is a well-mixed 62-bit child seed, so a run seed can
+    fan out into per-case seeds ([derive seed 0], [derive seed 1], ...)
+    whose streams are independent — unlike arithmetic on raw seeds, which
+    SplitMix64 would partially correlate. Always non-negative. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -33,6 +33,19 @@ let test_underflow_rejected () =
   Alcotest.check_raises "underflow" (Invalid_argument "Bits.Reader.get: underflow")
     (fun () -> ignore (Bits.Reader.get r ~width:1))
 
+let test_max_width_roundtrip () =
+  (* Width 30 is the documented ceiling; the extreme values must survive,
+     packed back to back across byte boundaries. *)
+  let w = Bits.Writer.create () in
+  Bits.Writer.put w ((1 lsl 30) - 1) ~width:30;
+  Bits.Writer.put w 0 ~width:30;
+  Bits.Writer.put w 1 ~width:30;
+  Alcotest.(check int) "bit length" 90 (Bits.Writer.bit_length w);
+  let r = Bits.Reader.of_bytes (Bits.Writer.to_bytes w) in
+  Alcotest.(check int) "all ones" ((1 lsl 30) - 1) (Bits.Reader.get r ~width:30);
+  Alcotest.(check int) "all zeros" 0 (Bits.Reader.get r ~width:30);
+  Alcotest.(check int) "one" 1 (Bits.Reader.get r ~width:30)
+
 let prop_roundtrip =
   Helpers.qtest "random field roundtrip" ~count:200
     QCheck.(list (pair (int_range 0 20) (int_range 0 1_000_000)))
@@ -60,6 +73,7 @@ let suite =
     Alcotest.test_case "zero width" `Quick test_zero_width;
     Alcotest.test_case "out of range rejected" `Quick test_out_of_range_rejected;
     Alcotest.test_case "underflow rejected" `Quick test_underflow_rejected;
+    Alcotest.test_case "max width roundtrip" `Quick test_max_width_roundtrip;
     prop_roundtrip;
     prop_bit_length;
   ]

@@ -1,0 +1,77 @@
+(* Counterexamples disco-check found on main, pinned by exact seed.
+
+   The first sweep (disco-check --seed 7 --cases 10 --max-nodes 64)
+   convicted S4 on eight scenarios: its first packet was held to the TZ
+   stretch-3 bound, but S4 resolves flat names through the consistent-
+   hashing resolution database, so the first packet detours via the hash
+   owner and its stretch is unbounded (s4.mli, §5 of the paper). The fix
+   was to the invariant catalog — S4's first_bound is None; stretch 3
+   applies to route_later only.
+
+   These scenarios pin both directions of that fix, replayed from the
+   exact shrunk seeds the checker reported:
+   - under the corrected catalog they pass (and must stay passing);
+   - under the original, miscalibrated catalog the checker still convicts
+     S4 with the very stretch values observed (4.0, 5.0, 4.33), proving a
+     future bound drift of this class cannot slip through. *)
+
+module Scenario = Disco_check.Scenario
+module Spec = Disco_check.Spec
+module Runner = Disco_check.Runner
+module Violation = Disco_check.Violation
+
+let scenario_exn desc =
+  match Scenario.of_string desc with
+  | Ok sc -> sc
+  | Error e -> Alcotest.failf "bad pinned scenario %S: %s" desc e
+
+(* Shrunk counterexamples as reported by disco-check --seed 7 --cases 10. *)
+let pinned =
+  [
+    "seed=1150299863866387076,family=gnm,n=16,pairs=16,workload=uniform,churn=0";
+    "seed=1512986910920847295,family=gnm,n=16,pairs=4,workload=uniform,churn=0";
+    "seed=619157119472769496,family=ring,n=16,pairs=7,workload=uniform,churn=0";
+    "seed=1905278406105126106,family=geometric,n=17,pairs=6,workload=uniform,churn=0";
+  ]
+
+let test_pinned_scenarios_pass () =
+  List.iter
+    (fun desc ->
+      let outcome = Runner.run (scenario_exn desc) in
+      if Runner.failed outcome then
+        Alcotest.failf "pinned scenario regressed: %s\n%s" desc
+          (String.concat "\n"
+             (List.map Violation.describe outcome.Runner.violations)))
+    pinned
+
+(* The catalog bug as it originally shipped: S4's first packet wrongly
+   held to stretch 3. *)
+let miscalibrated s =
+  let spec = Spec.find s in
+  if String.equal s "s4" then { spec with Spec.first_bound = Some 3.0 } else spec
+
+let test_miscalibrated_bound_is_convicted () =
+  let sc =
+    scenario_exn "seed=1512986910920847295,family=gnm,n=16,pairs=4,workload=uniform,churn=0"
+  in
+  let outcome = Runner.run ~spec_of:miscalibrated sc in
+  let s4_first_violation =
+    List.exists
+      (fun v ->
+        String.equal v.Violation.scheme "s4"
+        &&
+        match v.Violation.kind with
+        | Violation.Stretch_exceeded { phase; stretch; bound; _ } ->
+            String.equal phase "first" && bound = 3.0 && stretch > 3.0
+        | _ -> false)
+      outcome.Runner.violations
+  in
+  Alcotest.(check bool) "s4 first-packet stretch > 3 detected" true
+    s4_first_violation
+
+let suite =
+  [
+    Alcotest.test_case "pinned scenarios stay green" `Quick test_pinned_scenarios_pass;
+    Alcotest.test_case "miscalibrated S4 bound convicted" `Quick
+      test_miscalibrated_bound_is_convicted;
+  ]

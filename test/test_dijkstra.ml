@@ -138,6 +138,61 @@ let prop_k_closest_agrees_with_sssp =
         t.Dijkstra.order;
       !ok)
 
+let prop_within_radius_agrees_with_sssp =
+  Helpers.qtest "within_radius = full sssp restricted to the open ball" ~count:30
+    Helpers.seed_arb (fun seed ->
+      let g = Helpers.random_weighted_graph seed in
+      let src = seed mod Graph.n g in
+      let r = Dijkstra.sssp g src in
+      (* Radii straddling the distance spectrum, including 0 (empty-but-src
+         ball is impossible: d(src,src) = 0 < r fails, so 0 settles nothing
+         only if r <= 0; use strictly positive radii plus one exact
+         distance value to exercise the strict-< boundary). *)
+      let some_dist =
+        r.Dijkstra.dist.((src + 1) mod Graph.n g)
+      in
+      let radii = [ 0.0; some_dist; some_dist +. 1e-9; max 1.0 (2.0 *. some_dist) ] in
+      List.for_all
+        (fun radius ->
+          let t = Dijkstra.within_radius g src radius in
+          let lookup = Dijkstra.truncated_lookup t in
+          let ok = ref true in
+          for v = 0 to Graph.n g - 1 do
+            let inside = r.Dijkstra.dist.(v) < radius in
+            match lookup v with
+            | Some (d, _) ->
+                if not inside then ok := false;
+                if Float.abs (d -. r.Dijkstra.dist.(v)) > 1e-9 then ok := false
+            | None -> if inside then ok := false
+          done;
+          !ok)
+        radii)
+
+let prop_k_closest_weighted_parents =
+  Helpers.qtest "truncated parent chains realize full-sssp distances" ~count:30
+    Helpers.seed_arb (fun seed ->
+      let g = Helpers.random_weighted_graph seed in
+      let src = seed mod Graph.n g in
+      let k = 1 + (seed mod Graph.n g) in
+      let t = Dijkstra.k_closest g src k in
+      let r = Dijkstra.sssp g src in
+      let lookup = Dijkstra.truncated_lookup t in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if Float.abs (t.Dijkstra.tdist.(i) -. r.Dijkstra.dist.(v)) > 1e-9 then
+            ok := false;
+          if v <> src then begin
+            (* Predecessors are settled earlier, so the lookup-based parent
+               walk must reach src realizing exactly tdist. *)
+            let parent w = match lookup w with Some (_, p) -> p | None -> -2 in
+            let p = Dijkstra.path_of_parents ~parent ~src ~dst:v in
+            if Float.abs (Dijkstra.path_length g p -. t.Dijkstra.tdist.(i)) > 1e-9 then
+              ok := false
+          end)
+        t.Dijkstra.order;
+      !ok)
+
 let prop_parents_form_shortest_paths =
   Helpers.qtest "parent chains realize dist" ~count:20 Helpers.seed_arb (fun seed ->
       let g = Helpers.random_weighted_graph seed in
@@ -171,5 +226,7 @@ let suite =
     prop_matches_floyd;
     prop_weighted_matches_floyd;
     prop_k_closest_agrees_with_sssp;
+    prop_within_radius_agrees_with_sssp;
+    prop_k_closest_weighted_parents;
     prop_parents_form_shortest_paths;
   ]

@@ -40,5 +40,7 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("experiments", Test_experiments.suite);
       ("router-registry", Test_router_registry.suite);
+      ("disco-check", Test_check.suite);
+      ("disco-check-regressions", Test_check_regressions.suite);
       ("lint", Test_lint.suite);
     ]
