@@ -14,14 +14,14 @@ module Figures = Disco_experiments.Figures
 module Results = Disco_experiments.Results
 module Cli = Disco_experiments.Cli
 
-let run figure scale seed json =
+let run figure scale seed jobs json =
   Results.reset ();
   (match figure with
   | "all" ->
-      Figures.run_all ~seed scale;
+      Figures.run_all ~seed ~jobs scale;
       Micro.run ()
   | "micro" -> Micro.run ()
-  | id -> Figures.run ~seed scale id);
+  | id -> Figures.run ~seed ~jobs scale id);
   match json with
   | Some path -> (
       try
@@ -43,6 +43,6 @@ let cmd =
       ret
         (const run
         $ Cli.figure_term ~extra:[ "all"; "micro" ] ~default:"all" ()
-        $ Cli.scale_term $ Cli.seed_term $ json))
+        $ Cli.scale_term $ Cli.seed_term $ Cli.jobs_term $ json))
 
 let () = exit (Cmd.eval cmd)

@@ -16,6 +16,7 @@ module Protocol = Disco_experiments.Protocol
 module Routers = Disco_experiments.Routers
 
 let seed_arg = Disco_experiments.Cli.seed_term
+let jobs_arg = Disco_experiments.Cli.jobs_term
 
 let cases_arg =
   Arg.(value & opt int 50
@@ -78,7 +79,7 @@ let emit ~json ~out summary =
       Ok ()
   | exception Sys_error e -> Error (Printf.sprintf "cannot write report: %s" e)
 
-let run seed cases max_nodes scheme json out replay quiet =
+let run seed cases max_nodes scheme json out replay quiet jobs =
   match routers_for scheme with
   | Error e -> `Error (false, e)
   | Ok routers -> (
@@ -114,7 +115,7 @@ let run seed cases max_nodes scheme json out replay quiet =
             end
           in
           let summary =
-            Check.Harness.run_cases ~routers ~on_case ~run_seed:seed ~cases
+            Check.Harness.run_cases ~routers ~on_case ~jobs ~run_seed:seed ~cases
               ~max_nodes ()
           in
           if not (quiet || json) then print_newline ();
@@ -131,6 +132,6 @@ let cmd =
     Term.(
       ret
         (const run $ seed_arg $ cases_arg $ max_nodes_arg $ scheme_arg $ json_arg
-       $ out_arg $ replay_arg $ quiet_arg))
+       $ out_arg $ replay_arg $ quiet_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

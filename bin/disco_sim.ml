@@ -226,12 +226,13 @@ let dot_cmd =
 (* figure: delegate to the experiment harness; parsing shared with
    bench/main.exe via Disco_experiments.Cli. *)
 let figure_cmd =
-  let run id scale seed = Disco_experiments.Figures.run ~seed scale id in
+  let run id scale seed jobs = Disco_experiments.Figures.run ~seed ~jobs scale id in
   Cmd.v (Cmd.info "figure" ~doc:"Regenerate one evaluation figure")
     Term.(
       const run
       $ Disco_experiments.Cli.figure_term ~default:"fig3" ()
-      $ Disco_experiments.Cli.scale_term $ seed_arg)
+      $ Disco_experiments.Cli.scale_term $ seed_arg
+      $ Disco_experiments.Cli.jobs_term)
 
 let () =
   let info =

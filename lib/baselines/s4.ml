@@ -8,8 +8,7 @@ type t = {
   landmarks : Core.Landmarks.t;
   trees : Core.Landmark_trees.t;
   ring : Disco_hash.Consistent_hash.t;
-  ws : Dijkstra.workspace;
-  ball_cache : (int, int -> (float * int) option) Hashtbl.t;
+  ball_cache : (int, int -> (float * int) option) Disco_util.Pool.Memo.t;
 }
 
 let build ?(params = Core.Params.default) ?names ?landmark_ids ~rng graph =
@@ -33,8 +32,7 @@ let build ?(params = Core.Params.default) ?names ?landmark_ids ~rng graph =
     landmarks;
     trees = Core.Landmark_trees.create graph;
     ring;
-    ws = Dijkstra.make_workspace graph;
-    ball_cache = Hashtbl.create 256;
+    ball_cache = Disco_util.Pool.Memo.create ~size:256 ();
   }
 
 let graph t = t.graph
@@ -45,13 +43,14 @@ let radius t v = t.landmarks.Core.Landmarks.dist.(v)
    [target]'s landmark, as a lookup from node to (distance, predecessor)
    in the shortest-path tree rooted at [target]. *)
 let ball t target =
-  match Hashtbl.find_opt t.ball_cache target with
-  | Some lookup -> lookup
-  | None ->
-      let run = Dijkstra.within_radius ~ws:t.ws t.graph target (radius t target) in
-      let lookup = Dijkstra.truncated_lookup run in
-      Hashtbl.add t.ball_cache target lookup;
-      lookup
+  (* Filled lazily from route calls, possibly inside pool tasks: the memo
+     serializes the table, and each fill gets its own scratch workspace
+     (the truncated run copies its results out, so the cached lookup is
+     workspace-independent). *)
+  Disco_util.Pool.Memo.find_or_add t.ball_cache target (fun () ->
+      let ws = Dijkstra.make_workspace t.graph in
+      let run = Dijkstra.within_radius ~ws t.graph target (radius t target) in
+      Dijkstra.truncated_lookup run)
 
 let in_cluster t ~node ~target = node <> target && ball t target node <> None
 

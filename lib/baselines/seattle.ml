@@ -7,8 +7,7 @@ type t = {
   names : Disco_core.Name.t array;
   ring : Consistent_hash.t;
   resolver : int array; (* per destination *)
-  trees : (int, Dijkstra.sssp) Hashtbl.t;
-  ws : Dijkstra.workspace;
+  trees : (int, Dijkstra.sssp) Disco_util.Pool.Memo.t;
 }
 
 let build graph ~names =
@@ -21,15 +20,15 @@ let build graph ~names =
       ()
   in
   let resolver = Array.map (fun name -> Consistent_hash.owner_of_name ring name) names in
-  { graph; names; ring; resolver; trees = Hashtbl.create 64; ws = Dijkstra.make_workspace graph }
+  { graph; names; ring; resolver; trees = Disco_util.Pool.Memo.create () }
 
+(* Lazy per-root SSSP, shared across query handles; the memo makes the
+   fill safe from pool tasks, and each fill uses its own workspace
+   ([Dijkstra.sssp] returns fresh arrays, so cached trees are
+   workspace-independent). *)
 let tree t root =
-  match Hashtbl.find_opt t.trees root with
-  | Some s -> s
-  | None ->
-      let s = Dijkstra.sssp ~ws:t.ws t.graph root in
-      Hashtbl.add t.trees root s;
-      s
+  Disco_util.Pool.Memo.find_or_add t.trees root (fun () ->
+      Dijkstra.sssp ~ws:(Dijkstra.make_workspace t.graph) t.graph root)
 
 let shortest t ~src ~dst =
   let s = tree t src in

@@ -29,31 +29,64 @@ let check_scenario ?routers ?spec_of ?shrink_budget sc =
     Some (shrink_failure ?routers ?spec_of ?shrink_budget sc)
   else None
 
-let run_cases ?routers ?spec_of ?shrink_budget ?on_case ~run_seed ~cases ~max_nodes
-    () =
-  let schemes = ref [] in
-  let total_pairs = ref 0 in
-  let total_route_failures = ref 0 in
-  let counterexamples = ref [] in
-  for case = 0 to cases - 1 do
+let run_cases ?routers ?spec_of ?shrink_budget ?on_case ?(jobs = 1) ~run_seed
+    ~cases ~max_nodes () =
+  (* Each case is fully determined by (run_seed, case, max_nodes) — routers
+     are rebuilt per scenario — so the sweep parallelizes by case with no
+     shared state. Shrinking happens inside the task (it only reruns the
+     task's own scenario); outcomes are merged and [on_case] fired in case
+     order afterwards, so the summary is identical for every [jobs]. *)
+  let exec case =
     let sc = Scenario.generate ~run_seed ~case ~max_nodes in
     let outcome = Runner.run ?routers ?spec_of sc in
-    if !schemes = [] then schemes := outcome.Runner.schemes;
-    total_pairs := !total_pairs + outcome.Runner.pairs_checked;
-    total_route_failures := !total_route_failures + outcome.Runner.route_failures;
-    let failed = Runner.failed outcome in
-    if failed then
-      counterexamples := shrink_failure ?routers ?spec_of ?shrink_budget sc :: !counterexamples;
-    match on_case with Some f -> f ~case ~failed | None -> ()
-  done;
+    let cx =
+      if Runner.failed outcome then
+        Some (shrink_failure ?routers ?spec_of ?shrink_budget sc)
+      else None
+    in
+    (outcome, cx)
+  in
+  let indices = Array.init cases Fun.id in
+  let outcomes =
+    if jobs > 1 && cases > 1 then
+      Disco_util.Pool.with_pool ~jobs (fun p -> Disco_util.Pool.run p indices exec)
+    else
+      (* Sequential path: interleave [on_case] with the work so progress
+         output stays live on long single-job runs. *)
+      Array.map
+        (fun case ->
+          let ((_, cx) as r) = exec case in
+          (match on_case with Some f -> f ~case ~failed:(cx <> None) | None -> ());
+          r)
+        indices
+  in
+  if jobs > 1 && cases > 1 then
+    Array.iteri
+      (fun case (_, cx) ->
+        match on_case with Some f -> f ~case ~failed:(cx <> None) | None -> ())
+      outcomes;
+  let schemes =
+    match outcomes with
+    | [||] -> []
+    | _ -> (fst outcomes.(0)).Runner.schemes
+  in
+  let total_pairs =
+    Array.fold_left (fun acc (o, _) -> acc + o.Runner.pairs_checked) 0 outcomes
+  in
+  let total_route_failures =
+    Array.fold_left (fun acc (o, _) -> acc + o.Runner.route_failures) 0 outcomes
+  in
+  let counterexamples =
+    Array.to_list outcomes |> List.filter_map (fun (_, cx) -> cx)
+  in
   {
     run_seed;
     cases;
     max_nodes;
-    schemes = !schemes;
-    total_pairs = !total_pairs;
-    total_route_failures = !total_route_failures;
-    counterexamples = List.rev !counterexamples;
+    schemes;
+    total_pairs;
+    total_route_failures;
+    counterexamples;
   }
 
 let report s =

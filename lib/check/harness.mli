@@ -26,6 +26,7 @@ val run_cases :
   ?spec_of:(string -> Spec.t) ->
   ?shrink_budget:int ->
   ?on_case:(case:int -> failed:bool -> unit) ->
+  ?jobs:int ->
   run_seed:int ->
   cases:int ->
   max_nodes:int ->
@@ -33,7 +34,11 @@ val run_cases :
   summary
 (** Run cases [0 .. cases-1], each on the scenario
     [Scenario.generate ~run_seed ~case ~max_nodes]. [on_case] fires after
-    each case (progress for the binary). *)
+    each case (progress for the binary). [jobs] (default 1) spreads the
+    cases over a {!Disco_util.Pool}; cases are independent by
+    construction, shrinking stays inside its case's task, and [on_case]
+    plus the merge run in case order at the barrier, so the summary is
+    bit-identical for every [jobs] value. *)
 
 val check_scenario :
   ?routers:Disco_experiments.Protocol.packed list ->

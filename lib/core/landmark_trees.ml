@@ -1,32 +1,36 @@
 module Graph = Disco_graph.Graph
 module Dijkstra = Disco_graph.Dijkstra
+module Pool = Disco_util.Pool
+
+(* Lazily-computed SSSP trees, one per landmark (or per tree root a route
+   actually touches). The memo is shared by every query handle of a router
+   — it is what makes routes on converged state cheap — so it must tolerate
+   concurrent fills from pool tasks: [Pool.Memo] serializes table access,
+   and the SSSP itself is a deterministic function of the root, so a lost
+   fill race converges on an equal tree. Each fill runs on its own
+   workspace; a shared scratch workspace here would race. *)
 
 type t = {
   graph : Graph.t;
-  cache : (int, Dijkstra.sssp) Hashtbl.t;
-  ws : Dijkstra.workspace;
+  cache : (int, Dijkstra.sssp) Pool.Memo.t;
 }
 
-let create graph =
-  { graph; cache = Hashtbl.create 64; ws = Dijkstra.make_workspace graph }
+let create graph = { graph; cache = Pool.Memo.create () }
 
 let tree t lm =
-  match Hashtbl.find_opt t.cache lm with
-  | Some s -> s
-  | None ->
-      let s = Dijkstra.sssp ~ws:t.ws t.graph lm in
-      Hashtbl.add t.cache lm s;
-      s
+  Pool.Memo.find_or_add t.cache lm (fun () ->
+      Dijkstra.sssp ~ws:(Dijkstra.make_workspace t.graph) t.graph lm)
 
-let dist t ~lm v = (tree t lm).dist.(v)
+let dist t ~lm v = (tree t lm).Dijkstra.dist.(v)
 
 let path_from t ~lm v =
   let s = tree t lm in
-  if s.dist.(v) = infinity then invalid_arg "Landmark_trees.path_from: unreachable";
+  if s.Dijkstra.dist.(v) = infinity then
+    invalid_arg "Landmark_trees.path_from: unreachable";
   Dijkstra.path_of_parents
-    ~parent:(fun u -> s.parent.(u))
+    ~parent:(fun u -> s.Dijkstra.parent.(u))
     ~src:lm ~dst:v
 
 let path_to t v ~lm = List.rev (path_from t ~lm v)
 
-let cached_count t = Hashtbl.length t.cache
+let cached_count t = Pool.Memo.length t.cache

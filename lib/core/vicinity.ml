@@ -11,19 +11,22 @@ type view = {
 type t = {
   graph : Graph.t;
   k : int;
-  cache : (int, view) Hashtbl.t;
-  ws : Dijkstra.workspace;
+  cache : (int, view) Disco_util.Pool.Memo.t;
 }
 
 let create graph ~k =
   if k < 0 then invalid_arg "Vicinity.create: k < 0";
-  { graph; k; cache = Hashtbl.create 256; ws = Dijkstra.make_workspace graph }
+  { graph; k; cache = Disco_util.Pool.Memo.create ~size:256 () }
 
 let k t = t.k
 
+(* Each fill runs on its own workspace and copies the truncated run into
+   fresh arrays, so cached views are workspace-independent; the memo makes
+   the demand fill safe from pool tasks (every route consults V(v)). *)
 let compute t v =
   (* k_closest includes the source; ask for one more and drop it. *)
-  let run = Dijkstra.k_closest ~ws:t.ws t.graph v (t.k + 1) in
+  let ws = Dijkstra.make_workspace t.graph in
+  let run = Dijkstra.k_closest ~ws t.graph v (t.k + 1) in
   let total = Array.length run.order in
   let size = max 0 (total - 1) in
   let members = Array.make size 0 in
@@ -51,13 +54,7 @@ let compute t v =
     radius = !radius;
   }
 
-let view t v =
-  match Hashtbl.find_opt t.cache v with
-  | Some view -> view
-  | None ->
-      let vw = compute t v in
-      Hashtbl.add t.cache v vw;
-      vw
+let view t v = Disco_util.Pool.Memo.find_or_add t.cache v (fun () -> compute t v)
 
 let find_index vw w =
   let lo = ref 0 and hi = ref (Array.length vw.members - 1) in
@@ -102,4 +99,4 @@ let precompute_all t =
     ignore (view t v : view)
   done
 
-let cached_count t = Hashtbl.length t.cache
+let cached_count t = Disco_util.Pool.Memo.length t.cache

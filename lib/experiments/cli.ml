@@ -18,6 +18,25 @@ let seed_term =
   let doc = "Deterministic RNG seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_conv : int Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg "must be >= 0 (0 = one worker per available core)")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_term =
+  let doc =
+    "Worker domains for the parallel engine (0 = one per available core). \
+     Measured results are bit-identical for every value; only wall-clock \
+     changes."
+  in
+  Term.(
+    const Disco_util.Pool.resolve_jobs
+    $ Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc))
+
 let figure_conv ~extra : string Arg.conv =
   let ids = Figures.all_ids @ extra in
   let parse s =

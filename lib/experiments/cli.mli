@@ -11,6 +11,11 @@ val scale_term : Scale.t Cmdliner.Term.t
 val seed_term : int Cmdliner.Term.t
 (** [--seed N], defaulting to 42. *)
 
+val jobs_term : int Cmdliner.Term.t
+(** [--jobs]/[-j N], defaulting to 1 (sequential); [0] resolves to
+    [Disco_util.Pool.default_jobs ()]. The value that reaches the program
+    is already resolved to [>= 1]. *)
+
 val figure_term : ?extra:string list -> default:string -> unit -> string Cmdliner.Term.t
 (** [--figure]/[-f]/[--id], validated against {!Figures.all_ids} plus
     [extra] ids the caller handles itself (e.g. ["all"], ["micro"]). *)

@@ -9,8 +9,8 @@ module Stats = Disco_util.Stats
 module Core = Disco_core
 
 (* addr: §4.2 explicit-route address sizes on the router-level topology. *)
-let addr (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let addr (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
   let n = Scale.big_n scale in
   Report.section
     (Printf.sprintf
@@ -37,8 +37,8 @@ let addr (ctx : Protocol.ctx) =
 
 (* header: wire cost of the packet header under the default heuristic vs
    Path Knowledge, which must carry the route's global node ids (§4.2). *)
-let header (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let header (cfg : Engine.config) =
+  let { Engine.seed; _ } = cfg in
   let n = 2048 in
   Report.section
     (Printf.sprintf "header: first-packet header bytes by heuristic; router-level n=%d" n);

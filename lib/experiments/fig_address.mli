@@ -1,0 +1,11 @@
+(** Runner bodies behind the [address] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val addr : Engine.config -> unit
+(** Explicit-route address sizes on the router-level topology (§4.2),
+    plus the fixed-width tree-address ablation. *)
+
+val header : Engine.config -> unit
+(** First-packet header bytes by shortcutting heuristic (§4.2). *)

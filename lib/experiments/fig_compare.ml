@@ -9,14 +9,14 @@ module Stats = Disco_util.Stats
 
 let order = [ "pathvector"; "seattle"; "bvr"; "vrr"; "s4"; "nddisco"; "disco" ]
 
-let fig1 (ctx : Protocol.ctx) =
+let fig1 (cfg : Engine.config) =
   let n = 1024 in
   Report.section
     (Printf.sprintf "fig1 (measured): all protocols on a geometric graph, n=%d" n);
-  let tb = Testbed.make ~seed:ctx.Protocol.seed Gen.Geometric ~n in
+  let tb = Testbed.make ~seed:cfg.Engine.seed Gen.Geometric ~n in
   let samples =
     Engine.sample_pairs ~pairs:1000 ~dests_per_src:4 ~purpose:42
-      ~tel:ctx.Protocol.tel
+      ~jobs:cfg.Engine.jobs ~tel:cfg.Engine.tel
       ~routers:(List.map Routers.find_exn order)
       tb
   in

@@ -1,0 +1,9 @@
+(** Runner bodies behind the [compare] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig1 : Engine.config -> unit
+(** The paper's protocol-comparison table (fig 1), measured: every
+    registered scheme's state and stretch side by side on one geometric
+    topology. *)

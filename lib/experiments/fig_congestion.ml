@@ -6,8 +6,8 @@ module Rng = Disco_util.Rng
 module Core = Disco_core
 
 (* fig10: congestion tail on the AS-level topology. *)
-let fig10 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig10 (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
   let n = Scale.big_n scale in
   Report.section
     (Printf.sprintf "fig10: congestion on AS-level topology; n=%d" n);
@@ -39,8 +39,8 @@ let fig10 (ctx : Protocol.ctx) =
 
    This is a (src, dst, dead-node) triple sample, not a sampled-pairs
    sweep, so it keeps its own loop rather than going through Engine. *)
-let fate (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fate (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
   let n = match scale with Scale.Small -> 1024 | Scale.Paper -> 4096 in
   Report.section
     (Printf.sprintf

@@ -1,0 +1,10 @@
+(** Runner bodies behind the [congestion] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig10 : Engine.config -> unit
+(** Congestion tail on the AS-level topology (fig 10). *)
+
+val fate : Engine.config -> unit
+(** Fate sharing: flows disrupted by one random remote failure (§2). *)

@@ -8,8 +8,8 @@ module Core = Disco_core
 
 (* control: Theorem 2 — control-plane state is O(delta sqrt(n log n))
    under plain path vector but O(sqrt(n log n)) with forgetful routing. *)
-let control (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; tel } = ctx in
+let control (cfg : Engine.config) =
+  let { Engine.seed; scale; tel; _ } = cfg in
   let n = match scale with Scale.Small -> 4096 | Scale.Paper -> 16384 in
   Report.section
     (Printf.sprintf "control: control-plane state, plain vs forgetful routing; router-level n=%d" n);
@@ -47,8 +47,8 @@ let control (ctx : Protocol.ctx) =
 (* policy: §6 — operators may choose landmarks non-randomly as long as
    there are O~(sqrt n) of them and every vicinity contains one. Compare
    random landmarks with degree-based selection on the AS-like topology. *)
-let policy (ctx : Protocol.ctx) =
-  let { Protocol.seed; tel; _ } = ctx in
+let policy (cfg : Engine.config) =
+  let { Engine.seed; tel; jobs; _ } = cfg in
   Report.section "policy: random vs operator-chosen (highest-degree) landmarks";
   let n = 2048 in
   let rng = Rng.create (seed * 17) in
@@ -63,12 +63,12 @@ let policy (ctx : Protocol.ctx) =
     let nd = Core.Nddisco.build ?landmark_ids ~rng:(Rng.create (seed + 1)) graph in
     let disco = Core.Disco.of_nddisco ~rng:(Rng.create (seed + 2)) nd in
     let pair_rng = Rng.create (seed + 3) in
-    let stretches = ref [] in
-    Engine.iter_pairs ~tel ~dests_per_src:5 ~pairs:1000 pair_rng graph
-      (fun ~src:s ~dst:t ~dist ->
-        stretches :=
-          Engine.path_stretch graph ~dist (Core.Disco.route_first disco ~src:s ~dst:t)
-          :: !stretches);
+    let stretches =
+      Engine.map_pairs ~jobs ~tel ~dests_per_src:5 ~pairs:1000
+        ~seed:(Rng.derive seed 3) pair_rng graph (fun ~src:s ~dst:t ~dist ->
+          Engine.path_stretch graph ~dist
+            (Core.Disco.route_first disco ~src:s ~dst:t))
+    in
     let addr_bytes =
       Array.init n (fun v ->
           float_of_int (Core.Address.route_byte_size (Core.Nddisco.address nd v)))
@@ -77,7 +77,7 @@ let policy (ctx : Protocol.ctx) =
       (Printf.sprintf
          "landmarks=%d mean first stretch=%.3f mean address=%.2fB max address=%.0fB"
          (Core.Landmarks.count nd.Core.Nddisco.landmarks)
-         (Stats.mean (Array.of_list !stretches))
+         (Stats.mean stretches)
          (Stats.mean addr_bytes)
          (Stats.summarize addr_bytes).Stats.max)
   in

@@ -1,0 +1,10 @@
+(** Runner bodies behind the [control] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val policy : Engine.config -> unit
+(** Random vs operator-chosen (highest-degree) landmarks (§6). *)
+
+val control : Engine.config -> unit
+(** Control-plane state, plain vs forgetful routing (Theorem 2). *)

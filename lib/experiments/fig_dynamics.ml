@@ -8,8 +8,8 @@
 module Gen = Disco_graph.Gen
 module Rng = Disco_util.Rng
 
-let dynamics (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let dynamics (cfg : Engine.config) =
+  let { Engine.seed; _ } = cfg in
   Report.section "dynamics: event-driven Disco under join/leave churn (G(n,m), n=128)";
   let n = 128 in
   let rng = Rng.create (seed * 23) in

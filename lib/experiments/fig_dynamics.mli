@@ -1,0 +1,7 @@
+(** Runner bodies behind the [dynamics] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val dynamics : Engine.config -> unit
+(** The event-driven protocol under scripted join/leave churn. *)

@@ -11,8 +11,8 @@ module Core = Disco_core
    so nodes genuinely disagree on the grouping — at n = 1024 even ±60%
    error leaves every node with the same k and the experiment shows
    nothing. *)
-let nerror (ctx : Protocol.ctx) =
-  let { Protocol.seed; tel; _ } = ctx in
+let nerror (cfg : Engine.config) =
+  let { Engine.seed; tel; jobs; _ } = cfg in
   Report.section "nerror: error in estimating n (G(n,m), n=2048)";
   let n = 2048 in
   let rng = Rng.create ((seed * 31337) + 5) in
@@ -33,30 +33,35 @@ let nerror (ctx : Protocol.ctx) =
       (* Sampled pairs: how often does the group mechanism fail over to the
          resolution database, and what's the mean first-packet stretch? *)
       let pair_rng = Rng.create (seed + 991) in
-      let fallbacks = ref 0 and total = ref 0 in
-      let stretches = ref [] in
-      Engine.iter_pairs ~tel ~dests_per_src:5 ~pairs:1500 pair_rng graph
-        (fun ~src:s ~dst:t ~dist ->
-          incr total;
-          (match Core.Disco.classify_first disco ~src:s ~dst:t with
-          | Core.Disco.Resolution_fallback -> incr fallbacks
-          | _ -> ());
-          stretches :=
-            Engine.path_stretch graph ~dist (Core.Disco.route_first disco ~src:s ~dst:t)
-            :: !stretches);
+      let samples =
+        Engine.map_pairs ~jobs ~tel ~dests_per_src:5 ~pairs:1500
+          ~seed:(Rng.derive seed 991) pair_rng graph
+          (fun ~src:s ~dst:t ~dist ->
+            let fallback =
+              match Core.Disco.classify_first disco ~src:s ~dst:t with
+              | Core.Disco.Resolution_fallback -> true
+              | _ -> false
+            in
+            ( Engine.path_stretch graph ~dist
+                (Core.Disco.route_first disco ~src:s ~dst:t),
+              fallback ))
+      in
+      let fallbacks =
+        Array.fold_left (fun a (_, f) -> if f then a + 1 else a) 0 samples
+      in
       Report.kv
         (Printf.sprintf "error ±%.0f%%" (error *. 100.0))
         (Printf.sprintf "fallback rate=%.4f mean first stretch=%.4f"
-           (float_of_int !fallbacks /. float_of_int (max 1 !total))
-           (Stats.mean (Array.of_list !stretches))))
+           (float_of_int fallbacks /. float_of_int (max 1 (Array.length samples)))
+           (Stats.mean (Array.map fst samples))))
     [ 0.0; 0.4; 0.6 ]
 
 (* synopsis: §4.1 estimate-n accuracy via synopsis diffusion. The sketch
    of a fixed name set is deterministic, so one run is a single
    realization; salt the names over several runs and report the average
    absolute error, matching the paper's "within 10% on average". *)
-let synopsis (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let synopsis (cfg : Engine.config) =
+  let { Engine.seed; _ } = cfg in
   Report.section "synopsis: estimating n by synopsis diffusion (G(n,m), n=1024)";
   let n = 1024 in
   let rng = Rng.create (seed * 13) in
@@ -89,8 +94,8 @@ let synopsis (ctx : Protocol.ctx) =
 
 (* churn: §4.2's factor-2 hysteresis rule for landmark status, vs the
    naive policy of re-drawing on every estimate update. *)
-let churn (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let churn (cfg : Engine.config) =
+  let { Engine.seed; _ } = cfg in
   Report.section "churn: landmark flips while n grows 1k -> ~8k (+10%/step)";
   let trajectory =
     let rec go acc n k =

@@ -1,0 +1,14 @@
+(** Runner bodies behind the [estimation] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val nerror : Engine.config -> unit
+(** Random error in each node's estimate of n (§5). *)
+
+val synopsis : Engine.config -> unit
+(** Estimate-n accuracy via synopsis diffusion (§4.1). *)
+
+val churn : Engine.config -> unit
+(** Landmark flips under the factor-2 hysteresis rule vs naive
+    re-draws (§4.2). *)

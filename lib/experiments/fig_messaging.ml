@@ -5,8 +5,8 @@ module Stats = Disco_util.Stats
 module Core = Disco_core
 
 (* fig8: messages per node until convergence, G(n,m) of increasing size. *)
-let fig8 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; tel } = ctx in
+let fig8 (cfg : Engine.config) =
+  let { Engine.seed; scale; tel; _ } = cfg in
   Report.section "fig8: mean messages/node until convergence on G(n,m)";
   let sizes =
     match scale with
@@ -32,8 +32,8 @@ let fig8 (ctx : Protocol.ctx) =
 (* overlay: 1 vs 3 fingers, announcement hops and messages; then the
    naive alternative §4.4 rejects — relaying group state through the
    resolution landmarks — costed in bytes per refresh epoch. *)
-let overlay (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let overlay (cfg : Engine.config) =
+  let { Engine.seed; _ } = cfg in
   Report.section "overlay: address dissemination, 1 vs 3 fingers (G(n,m), n=1024)";
   List.iter
     (fun (s : Messaging.overlay_stats) ->

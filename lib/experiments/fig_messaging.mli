@@ -1,0 +1,11 @@
+(** Runner bodies behind the [messaging] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig8 : Engine.config -> unit
+(** Messages per node until convergence as n grows (fig 8). *)
+
+val overlay : Engine.config -> unit
+(** Address dissemination over the group overlay, 1 vs 3 fingers,
+    against the naive landmark relay §4.4 rejects. *)

@@ -5,8 +5,8 @@ module Rng = Disco_util.Rng
 module Stats = Disco_util.Stats
 
 (* fig9: mean stretch and mean state as n grows (geometric graphs). *)
-let fig9 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig9 (cfg : Engine.config) =
+  let { Engine.seed; scale; jobs; _ } = cfg in
   Report.section "fig9: scaling on geometric graphs (mean stretch, mean state)";
   let sizes =
     match scale with
@@ -16,7 +16,7 @@ let fig9 (ctx : Protocol.ctx) =
   List.iter
     (fun n ->
       let tb = Testbed.make ~seed Gen.Geometric ~n in
-      let sr = Metrics.stretch ~pairs:800 tb in
+      let sr = Metrics.stretch ~pairs:800 ~jobs tb in
       let st = Metrics.state tb in
       let x = float_of_int n in
       Report.series_point ~label:"fig9.stretch.disco-first" ~x
@@ -36,8 +36,8 @@ let fig9 (ctx : Protocol.ctx) =
 (* tradeoff: §6's open question — other points on the state/stretch curve,
    via the generalized TZ hierarchy (k levels: stretch <= 2k-1, state
    O~(n^{1/k})). *)
-let tradeoff (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; tel } = ctx in
+let tradeoff (cfg : Engine.config) =
+  let { Engine.seed; scale; tel; jobs } = cfg in
   let n = match scale with Scale.Small -> 1024 | Scale.Paper -> 4096 in
   Report.section
     (Printf.sprintf "tradeoff: TZ hierarchy, stretch vs state; G(n,m) n=%d" n);
@@ -56,13 +56,13 @@ let tradeoff (ctx : Protocol.ctx) =
         let states =
           Array.init n (fun v -> float_of_int (Disco_baselines.Tz_hierarchy.state tz v))
         in
-        let stretches = ref [] in
-        Engine.iter_groups ~tel graph groups (fun ~src:s ~dst:t ~dist ->
-            stretches :=
-              (Disco_baselines.Tz_hierarchy.route_length tz ~src:s ~dst:t /. dist)
-              :: !stretches);
+        let stretches =
+          Engine.map_groups ~jobs ~tel ~seed:(Rng.derive seed (90 + k)) graph
+            groups (fun ~src:s ~dst:t ~dist ->
+              Disco_baselines.Tz_hierarchy.route_length tz ~src:s ~dst:t /. dist)
+        in
         let st = Stats.summarize states in
-        let sr = Stats.summarize (Array.of_list !stretches) in
+        let sr = Stats.summarize stretches in
         [
           string_of_int k;
           Printf.sprintf "%.0f" (Disco_baselines.Tz_hierarchy.stretch_bound tz);

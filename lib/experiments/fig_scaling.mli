@@ -1,0 +1,10 @@
+(** Runner bodies behind the [scaling] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig9 : Engine.config -> unit
+(** Mean stretch and state as n grows (fig 9). *)
+
+val tradeoff : Engine.config -> unit
+(** The TZ-hierarchy state/stretch trade-off sweep (§6). *)

@@ -6,8 +6,8 @@ module Stats = Disco_util.Stats
 module Core = Disco_core
 
 (* fig2: per-node state CDFs on geometric / AS / router topologies. *)
-let fig2 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig2 (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
   Report.section
     (Printf.sprintf "fig2: state CDF over nodes (Disco, NDDisco, S4); n=%d"
        (Scale.big_n scale));
@@ -25,8 +25,8 @@ let fig2 (ctx : Protocol.ctx) =
     (Scale.topologies scale)
 
 (* fig7: state in entries and kilobytes (IPv4/IPv6 name sizes). *)
-let fig7 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig7 (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
   let n = Scale.big_n scale in
   Report.section
     (Printf.sprintf "fig7: state entries and KB on router-level topology; n=%d" n);

@@ -1,0 +1,10 @@
+(** Runner bodies behind the [state] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig2 : Engine.config -> unit
+(** Per-node state CDFs (fig 2). *)
+
+val fig7 : Engine.config -> unit
+(** State in entries and kilobytes under IPv4/IPv6 name sizes (fig 7). *)

@@ -6,14 +6,14 @@ module Stats = Disco_util.Stats
 module Core = Disco_core
 
 (* fig3: stretch CDFs (first and later packets) on the same topologies. *)
-let fig3 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig3 (cfg : Engine.config) =
+  let { Engine.seed; scale; jobs; _ } = cfg in
   Report.section
     (Printf.sprintf "fig3: stretch CDF over src-dst pairs; n=%d" (Scale.big_n scale));
   List.iter
     (fun (kind, n) ->
       let tb = Testbed.make ~seed kind ~n in
-      let st = Metrics.stretch ~pairs:(Scale.pairs_for scale) tb in
+      let st = Metrics.stretch ~pairs:(Scale.pairs_for scale) ~jobs tb in
       Printf.printf " topology=%s\n" (Gen.kind_name kind);
       Report.summary_line ~label:"disco-first" st.Metrics.s_disco.Metrics.first;
       Report.summary_line ~label:"disco-later" st.Metrics.s_disco.Metrics.later;
@@ -27,8 +27,8 @@ let fig3 (ctx : Protocol.ctx) =
     (Scale.topologies scale)
 
 (* fig6: mean stretch per shortcutting heuristic across four topologies. *)
-let fig6 (ctx : Protocol.ctx) =
-  let { Protocol.seed; scale; _ } = ctx in
+let fig6 (cfg : Engine.config) =
+  let { Engine.seed; scale; jobs; _ } = cfg in
   Report.section "fig6: mean stretch by shortcutting heuristic";
   let n_big = Scale.big_n scale in
   let topologies =
@@ -43,7 +43,7 @@ let fig6 (ctx : Protocol.ctx) =
     List.map
       (fun (kind, n, label) ->
         let tb = Testbed.make ~seed kind ~n in
-        (label, Metrics.mean_stretch_by_heuristic ~pairs:600 tb))
+        (label, Metrics.mean_stretch_by_heuristic ~pairs:600 ~jobs tb))
       topologies
   in
   let rows =
@@ -63,8 +63,8 @@ let fig6 (ctx : Protocol.ctx) =
    at c * sqrt(n log n); shrinking c saves state but erodes the w.h.p.
    guarantees (landmark-in-vicinity, group-member-in-vicinity) that the
    stretch bounds rest on - this sweep shows where they break. *)
-let vicinity (ctx : Protocol.ctx) =
-  let { Protocol.seed; tel; _ } = ctx in
+let vicinity (cfg : Engine.config) =
+  let { Engine.seed; tel; jobs; _ } = cfg in
   let n = 1024 in
   Report.section
     (Printf.sprintf "vicinity: state/stretch vs the vicinity constant; geometric n=%d" n);
@@ -75,18 +75,24 @@ let vicinity (ctx : Protocol.ctx) =
         let tb = Testbed.make ~seed ~params Gen.Geometric ~n in
         let st = Metrics.state tb in
         let rng = Testbed.rng tb ~purpose:51 in
-        let stretches = ref [] and fallbacks = ref 0 and total = ref 0 in
-        Engine.iter_pairs ~tel ~dests_per_src:4 ~pairs:800 rng tb.Testbed.graph
-          (fun ~src:s ~dst:t ~dist ->
-            incr total;
-            (match Core.Disco.classify_first tb.Testbed.disco ~src:s ~dst:t with
-            | Core.Disco.Resolution_fallback -> incr fallbacks
-            | _ -> ());
-            stretches :=
-              Engine.path_stretch tb.Testbed.graph ~dist
-                (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t)
-              :: !stretches);
-        let sr = Stats.summarize (Array.of_list !stretches) in
+        let samples =
+          Engine.map_pairs ~jobs ~tel ~dests_per_src:4 ~pairs:800
+            ~seed:(Rng.derive seed 51) rng tb.Testbed.graph
+            (fun ~src:s ~dst:t ~dist ->
+              let fallback =
+                match Core.Disco.classify_first tb.Testbed.disco ~src:s ~dst:t with
+                | Core.Disco.Resolution_fallback -> true
+                | _ -> false
+              in
+              ( Engine.path_stretch tb.Testbed.graph ~dist
+                  (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t),
+                fallback ))
+        in
+        let total = Array.length samples in
+        let fallbacks =
+          Array.fold_left (fun a (_, f) -> if f then a + 1 else a) 0 samples
+        in
+        let sr = Stats.summarize (Array.map fst samples) in
         [
           Printf.sprintf "%.2f" factor;
           string_of_int (Core.Params.vicinity_size params ~n);
@@ -94,7 +100,7 @@ let vicinity (ctx : Protocol.ctx) =
           Printf.sprintf "%.3f" sr.Stats.mean;
           Printf.sprintf "%.3f" sr.Stats.max;
           Printf.sprintf "%.2f%%"
-            (100.0 *. float_of_int !fallbacks /. float_of_int (max 1 !total));
+            (100.0 *. float_of_int fallbacks /. float_of_int (max 1 total));
         ])
       [ 0.25; 0.5; 1.0; 2.0 ]
   in

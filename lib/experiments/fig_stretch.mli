@@ -1,0 +1,14 @@
+(** Runner bodies behind the [stretch] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val vicinity : Engine.config -> unit
+(** Ablation of the vicinity constant: state/stretch/fallback as
+    c · sqrt(n log n) shrinks below the w.h.p. regime. *)
+
+val fig3 : Engine.config -> unit
+(** Stretch CDFs for first and later packets (fig 3). *)
+
+val fig6 : Engine.config -> unit
+(** Mean stretch per shortcutting heuristic (fig 6). *)

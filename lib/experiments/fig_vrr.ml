@@ -2,8 +2,8 @@
 
 module Gen = Disco_graph.Gen
 
-let run ~kind ~fig_name (ctx : Protocol.ctx) =
-  let { Protocol.seed; _ } = ctx in
+let run ~kind ~fig_name (cfg : Engine.config) =
+  let { Engine.seed; jobs; _ } = cfg in
   let n = 1024 in
   Report.section
     (Printf.sprintf "%s: state/stretch/congestion incl. VRR; %s n=%d" fig_name
@@ -23,7 +23,7 @@ let run ~kind ~fig_name (ctx : Protocol.ctx) =
   (match st.Metrics.vrr with
   | Some v -> Report.cdf_series ~label:(fig_name ^ ".state.vrr") v
   | None -> ());
-  let sr = Metrics.stretch ~pairs:1500 ~with_vrr:true tb in
+  let sr = Metrics.stretch ~pairs:1500 ~with_vrr:true ~jobs tb in
   Printf.printf " stretch (over src-dst pairs)\n";
   Report.summary_line ~label:"disco-first" sr.Metrics.s_disco.Metrics.first;
   Report.summary_line ~label:"disco-later" sr.Metrics.s_disco.Metrics.later;

@@ -1,0 +1,10 @@
+(** Runner bodies behind the [vrr] figure ids. Only the
+    entry points {!Figures} dispatches are exposed; everything else is a
+    private helper. Runners print via {!Report} and accumulate onto the
+    config's telemetry; see {!Engine.config} for the contract. *)
+
+val fig4 : Engine.config -> unit
+(** State/stretch/congestion including VRR on G(n,m) (fig 4). *)
+
+val fig5 : Engine.config -> unit
+(** Same as fig 4 on the geometric topology (fig 5). *)

@@ -8,7 +8,7 @@ type scale = Scale.t = Small | Paper
 
 let scale_of_string = Scale.of_string
 
-let runners : (string * (Protocol.ctx -> unit)) list =
+let runners : (string * (Engine.config -> unit)) list =
   [
     ("fig1", Fig_compare.fig1);
     ("header", Fig_address.header);
@@ -36,12 +36,12 @@ let runners : (string * (Protocol.ctx -> unit)) list =
 
 let all_ids = List.map fst runners
 
-let run_one ~seed scale id f =
+let run_one ~seed ~jobs scale id f =
   Results.set_figure id;
   let tel = Telemetry.create () in
-  let ctx = { Protocol.seed; scale; tel } in
+  let cfg = { Engine.seed; scale; jobs; tel } in
   let t0 = Engine.now () in
-  f ctx;
+  f cfg;
   let elapsed = Engine.now () -. t0 in
   Results.record
     {
@@ -63,10 +63,10 @@ let run_one ~seed scale id f =
   Report.kv "cost"
     (Printf.sprintf "%.1fs; %s" elapsed (Telemetry.to_string tel))
 
-let run ?(seed = 42) scale id =
+let run ?(seed = 42) ?(jobs = 1) scale id =
   match List.assoc_opt id runners with
-  | Some f -> run_one ~seed scale id f
+  | Some f -> run_one ~seed ~jobs scale id f
   | None -> invalid_arg (Printf.sprintf "Figures.run: unknown figure %S" id)
 
-let run_all ?(seed = 42) scale =
-  List.iter (fun (id, f) -> run_one ~seed scale id f) runners
+let run_all ?(seed = 42) ?(jobs = 1) scale =
+  List.iter (fun (id, f) -> run_one ~seed ~jobs scale id f) runners

@@ -19,8 +19,9 @@ type scale = Scale.t = Small | Paper
 val scale_of_string : string -> scale option
 val all_ids : string list
 
-val run : ?seed:int -> scale -> string -> unit
+val run : ?seed:int -> ?jobs:int -> scale -> string -> unit
 (** [run scale id] executes one experiment; raises [Invalid_argument] on
-    an unknown id. *)
+    an unknown id. [jobs] (default 1) is the runner's parallelism budget
+    ({!Engine.config}); measured values are identical for every value. *)
 
-val run_all : ?seed:int -> scale -> unit
+val run_all : ?seed:int -> ?jobs:int -> scale -> unit

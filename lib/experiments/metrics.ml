@@ -35,45 +35,65 @@ type stretch_result = {
   vrr_failures : int;
 }
 
+(* All route calls below read converged state only (the same fact that
+   makes ROUTER.fork the identity for these schemes), so per-pair mapping
+   is safe to fan out over the pool. *)
 let stretch ?(heuristic = Core.Shortcut.No_path_knowledge) ?(pairs = 2000)
-    ?(with_vrr = false) (tb : Testbed.t) =
+    ?(with_vrr = false) ?jobs (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let rng = Testbed.rng tb ~purpose:11 in
   let groups = Engine.draw_pairs rng ~n ~pairs in
   let vrr = if with_vrr then Some (Testbed.vrr tb) else None in
-  let acc_df = ref [] and acc_dl = ref [] in
-  let acc_nf = ref [] and acc_nl = ref [] in
-  let acc_sf = ref [] and acc_sl = ref [] in
-  let acc_v = ref [] in
-  let vrr_failures = ref 0 in
-  Engine.iter_groups tb.graph groups (fun ~src:s ~dst:t ~dist ->
-      let st path = path_stretch tb.graph ~dist path in
-      acc_df := st (Core.Disco.route_first ~heuristic tb.disco ~src:s ~dst:t) :: !acc_df;
-      acc_dl := st (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t) :: !acc_dl;
-      acc_nf :=
-        st (Core.Nddisco.route_first ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
-        :: !acc_nf;
-      acc_nl :=
-        st (Core.Nddisco.route_later ~heuristic (Testbed.nd tb) ~src:s ~dst:t)
-        :: !acc_nl;
-      acc_sf := st (S4.route_first tb.s4 ~src:s ~dst:t) :: !acc_sf;
-      acc_sl := st (S4.route_later tb.s4 ~src:s ~dst:t) :: !acc_sl;
-      match vrr with
-      | None -> ()
-      | Some v -> (
-          match Vrr.route v ~src:s ~dst:t with
-          | Some path -> acc_v := st path :: !acc_v
-          | None -> incr vrr_failures));
-  let arr l = Array.of_list (List.rev !l) in
+  let nd = Testbed.nd tb in
+  let per_pair =
+    Engine.map_groups ?jobs ~seed:(Rng.derive tb.Testbed.seed 11) tb.graph
+      groups (fun ~src:s ~dst:t ~dist ->
+        let st path = path_stretch tb.graph ~dist path in
+        let v =
+          match vrr with
+          | None -> None
+          | Some v -> Some (Option.map st (Vrr.route v ~src:s ~dst:t))
+        in
+        ( st (Core.Disco.route_first ~heuristic tb.disco ~src:s ~dst:t),
+          st (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t),
+          st (Core.Nddisco.route_first ~heuristic nd ~src:s ~dst:t),
+          st (Core.Nddisco.route_later ~heuristic nd ~src:s ~dst:t),
+          st (S4.route_first tb.s4 ~src:s ~dst:t),
+          st (S4.route_later tb.s4 ~src:s ~dst:t),
+          v ))
+  in
+  let pick f = Array.map f per_pair in
+  let vrr_samples =
+    Array.to_list per_pair
+    |> List.filter_map (fun (_, _, _, _, _, _, v) -> Option.join v)
+    |> Array.of_list
+  in
+  let vrr_failures =
+    Array.fold_left
+      (fun acc (_, _, _, _, _, _, v) -> if v = Some None then acc + 1 else acc)
+      0 per_pair
+  in
   {
-    s_disco = { first = arr acc_df; later = arr acc_dl };
-    s_nddisco = { first = arr acc_nf; later = arr acc_nl };
-    s_s4 = { first = arr acc_sf; later = arr acc_sl };
-    s_vrr = (if with_vrr then Some (arr acc_v) else None);
-    vrr_failures = !vrr_failures;
+    s_disco =
+      {
+        first = pick (fun (x, _, _, _, _, _, _) -> x);
+        later = pick (fun (_, x, _, _, _, _, _) -> x);
+      };
+    s_nddisco =
+      {
+        first = pick (fun (_, _, x, _, _, _, _) -> x);
+        later = pick (fun (_, _, _, x, _, _, _) -> x);
+      };
+    s_s4 =
+      {
+        first = pick (fun (_, _, _, _, x, _, _) -> x);
+        later = pick (fun (_, _, _, _, _, x, _) -> x);
+      };
+    s_vrr = (if with_vrr then Some vrr_samples else None);
+    vrr_failures;
   }
 
-let mean_stretch_by_heuristic ?(pairs = 1000) (tb : Testbed.t) =
+let mean_stretch_by_heuristic ?(pairs = 1000) ?jobs (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let rng = Testbed.rng tb ~purpose:12 in
   (* One draw shared by every heuristic: the table compares heuristics on
@@ -81,13 +101,13 @@ let mean_stretch_by_heuristic ?(pairs = 1000) (tb : Testbed.t) =
   let groups = Engine.draw_pairs rng ~n ~pairs in
   List.map
     (fun heuristic ->
-      let acc = ref [] in
-      Engine.iter_groups tb.graph groups (fun ~src:s ~dst:t ~dist ->
-          acc :=
+      let samples =
+        Engine.map_groups ?jobs ~seed:(Rng.derive tb.Testbed.seed 12) tb.graph
+          groups (fun ~src:s ~dst:t ~dist ->
             path_stretch tb.graph ~dist
-              (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t)
-            :: !acc);
-      (heuristic, Disco_util.Stats.mean (Array.of_list !acc)))
+              (Core.Disco.route_later ~heuristic tb.disco ~src:s ~dst:t))
+      in
+      (heuristic, Disco_util.Stats.mean samples))
     Core.Shortcut.all
 
 type congestion_result = {

@@ -32,15 +32,20 @@ val stretch :
   ?heuristic:Disco_core.Shortcut.heuristic ->
   ?pairs:int ->
   ?with_vrr:bool ->
+  ?jobs:int ->
   Testbed.t ->
   stretch_result
 (** Stretch over [pairs] sampled pairs (default 2000). NDDisco first
     packets assume the source knows the address (its name-dependent
     contract); S4 first packets pay the resolution detour; Disco first
-    packets use sloppy groups. *)
+    packets use sloppy groups. [jobs] fans the per-source tasks out over a
+    domain pool; results are identical for every value (default 1). *)
 
 val mean_stretch_by_heuristic :
-  ?pairs:int -> Testbed.t -> (Disco_core.Shortcut.heuristic * float) list
+  ?pairs:int ->
+  ?jobs:int ->
+  Testbed.t ->
+  (Disco_core.Shortcut.heuristic * float) list
 (** Fig 6 row: mean later-packet Disco stretch under each heuristic, on
     the same sampled pairs. *)
 

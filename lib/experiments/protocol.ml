@@ -9,13 +9,12 @@ module type ROUTER = sig
   val route_first : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
   val route_later : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
   val state_entries : t -> int -> int
+  val fork : t -> t
 end
 
 type packed = (module ROUTER)
 
 let name_of (module R : ROUTER) = R.name
-
-type ctx = { seed : int; scale : Scale.t; tel : Telemetry.t }
 
 let registry : packed list ref = ref []
 

@@ -46,15 +46,23 @@ module type ROUTER = sig
   val state_entries : t -> int -> int
   (** Data-plane routing-table entries at one node, per the paper's
       accounting (§5.2). Never negative. *)
+
+  val fork : t -> t
+  (** A query handle that can route concurrently with the original from
+      another domain: shared converged state is immutable and may alias,
+      but any query-time mutable scratch must either be private to the
+      returned handle (the path-vector oracle forks its SSSP memo and
+      workspace) or live behind {!Disco_util.Pool.Memo} (the demand-filled
+      landmark/vicinity/ball/tree caches in Disco, NDDisco, S4 and Seattle, whose
+      cross-pair amortization is the point of sharing). With that, fork is
+      the identity for every adapter except path-vector. Forked handles
+      feed the parallel engine ({!Engine.run}); [state_entries] is only
+      called on the original. *)
 end
 
 type packed = (module ROUTER)
 
 val name_of : packed -> string
-
-type ctx = { seed : int; scale : Scale.t; tel : Disco_util.Telemetry.t }
-(** What a figure runner receives: the seed, the scale, and the figure's
-    telemetry record (threaded into the engine and the simulator). *)
 
 val register : packed -> unit
 (** Append to the registry.

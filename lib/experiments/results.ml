@@ -45,7 +45,7 @@ let float_field f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
-let entry_to_json e =
+let entry_to_json ~timings e =
   String.concat ","
     [
       Printf.sprintf {|"figure":"%s"|} (escape e.figure);
@@ -61,11 +61,14 @@ let entry_to_json e =
       Printf.sprintf {|"route_calls":%d|} e.route_calls;
       Printf.sprintf {|"resolution_fallbacks":%d|} e.resolution_fallbacks;
       Printf.sprintf {|"messages":%d|} e.messages;
-      Printf.sprintf {|"elapsed_s":%s|} (float_field e.elapsed_s);
+      Printf.sprintf {|"elapsed_s":%s|}
+        (if timings then float_field e.elapsed_s else "null");
     ]
 
-let to_json () =
-  let rows = List.map (fun e -> "  {" ^ entry_to_json e ^ "}") (all ()) in
+let to_json ?(timings = true) () =
+  let rows =
+    List.map (fun e -> "  {" ^ entry_to_json ~timings e ^ "}") (all ())
+  in
   "[\n" ^ String.concat ",\n" rows ^ "\n]\n"
 
 let write_json path =

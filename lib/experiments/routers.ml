@@ -26,6 +26,9 @@ module Disco_router = struct
 
   let state_entries t v =
     Core.Disco.total_entries (Core.Disco.state_entries t v)
+
+  (* Routing only reads converged state. *)
+  let fork t = t
 end
 
 module Nddisco_router = struct
@@ -49,6 +52,8 @@ module Nddisco_router = struct
     let resolution_entries = Core.Resolution.entries_at t.resolution v in
     Core.Nddisco.total_entries
       (Core.Nddisco.state_entries ~resolution_entries t.nd v)
+
+  let fork t = t
 end
 
 module S4_router = struct
@@ -77,6 +82,8 @@ module S4_router = struct
   let state_entries t v =
     S4.state_entries t.s4 ~cluster_sizes:t.cluster_sizes
       ~resolution_loads:t.resolution_loads v
+
+  let fork t = t
 end
 
 module Vrr_router = struct
@@ -96,6 +103,7 @@ module Vrr_router = struct
   let route_first t ~tel:_ ~src ~dst = Vrr.route t.vrr ~src ~dst
   let route_later = route_first
   let state_entries t v = t.state.(v)
+  let fork t = t
 end
 
 module Bvr_router = struct
@@ -114,6 +122,7 @@ module Bvr_router = struct
   let route_first t ~tel:_ ~src ~dst = Bvr.route t ~src ~dst
   let route_later = route_first
   let state_entries t v = Bvr.state_entries t v
+  let fork t = t
 end
 
 module Seattle_router = struct
@@ -130,6 +139,7 @@ module Seattle_router = struct
   let route_first t ~tel:_ ~src ~dst = Some (Seattle.route_first t ~src ~dst)
   let route_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
   let state_entries t v = Seattle.state_entries t v
+  let fork t = t
 end
 
 module Tz_router = struct
@@ -146,6 +156,7 @@ module Tz_router = struct
   let route_first t ~tel:_ ~src ~dst = Tz.route t ~src ~dst
   let route_later = route_first
   let state_entries t v = Tz.state t v
+  let fork t = t
 end
 
 module Pathvector_router = struct
@@ -191,6 +202,16 @@ module Pathvector_router = struct
 
   let route_later = route_first
   let state_entries t _ = Graph.n t.graph - 1
+
+  (* The SSSP memo and the Dijkstra workspace are query-time mutable state:
+     a fork gets fresh ones so two domains never share them. *)
+  let fork t =
+    {
+      t with
+      ws = Dijkstra.make_workspace t.graph;
+      cached_src = -1;
+      sp = None;
+    }
 end
 
 let () =

@@ -102,7 +102,30 @@ let l5 =
     applies = in_dirs [ "lib/"; "bin/"; "bench/" ];
   }
 
-let catalogue = [ l1; l2; l3; l4; l5 ]
+(* The one module allowed to touch the concurrency primitives: everything
+   else submits work through its task API. *)
+let pool_allowlist = [ "lib/util/pool.ml" ]
+
+let l6 =
+  {
+    id = "L6";
+    title = "concurrency primitives only in the pool";
+    default_severity = Diagnostic.Error;
+    rationale =
+      "the bit-reproducibility argument (DESIGN.md \xc2\xa75d) holds because every \
+       domain, lock, and atomic in the tree lives behind Disco_util.Pool's \
+       task API; a stray Domain.spawn or shared Mutex reintroduces \
+       scheduling-dependent behaviour the argument cannot see";
+    hint =
+      "submit the work through Disco_util.Pool.run; lib/util/pool.ml is the \
+       only module that may use Domain/Mutex/Condition/Atomic directly";
+    applies =
+      (fun p ->
+        in_dirs [ "lib/"; "bin/"; "bench/" ] p
+        && not (List.exists (String.equal p) pool_allowlist));
+  }
+
+let catalogue = [ l1; l2; l3; l4; l5; l6 ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) catalogue
 
@@ -146,6 +169,12 @@ let l4_banned name =
     ]
 
 let l5_banned name = mem_name name [ "Obj.magic" ]
+
+let l6_banned name =
+  let n = strip_stdlib name in
+  List.exists
+    (fun prefix -> has_prefix ~prefix n)
+    [ "Domain."; "Mutex."; "Condition."; "Atomic."; "Thread." ]
 
 (* Operand that definitely holds a boxed/structured value, where polymorphic
    equality walks the representation: tuples, records, arrays, string
@@ -199,7 +228,11 @@ let check_structure ~active structure =
         if l4_banned name then
           emit "L4" loc (Printf.sprintf "%s writes to stdout from library code" name);
         if l5_banned name then
-          emit "L5" loc "Obj.magic defeats the type system"
+          emit "L5" loc "Obj.magic defeats the type system";
+        if l6_banned name then
+          emit "L6" loc
+            (Printf.sprintf
+               "%s is a raw concurrency primitive outside lib/util/pool.ml" name)
     | Pexp_apply (fn, args) -> (
         (match (fn.pexp_desc, args) with
         | ( Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc },

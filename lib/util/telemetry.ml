@@ -40,8 +40,36 @@ let add ~into t =
   into.messages_sent <- into.messages_sent + t.messages_sent;
   into.sssp_runs <- into.sssp_runs + t.sssp_runs
 
-let to_string t =
+let merge ts =
+  let into = create () in
+  List.iter (fun t -> add ~into t) ts;
+  into
+
+type snapshot = {
+  route_calls : int;
+  route_failures : int;
+  resolution_fallbacks : int;
+  messages_sent : int;
+  sssp_runs : int;
+}
+
+let snapshot (t : t) =
+  {
+    route_calls = t.route_calls;
+    route_failures = t.route_failures;
+    resolution_fallbacks = t.resolution_fallbacks;
+    messages_sent = t.messages_sent;
+    sssp_runs = t.sssp_runs;
+  }
+
+let to_string (t : t) =
   Printf.sprintf
     "route_calls=%d failures=%d fallbacks=%d messages=%d sssp_runs=%d"
     t.route_calls t.route_failures t.resolution_fallbacks t.messages_sent
     t.sssp_runs
+
+let snapshot_to_string (s : snapshot) =
+  Printf.sprintf
+    "route_calls=%d failures=%d fallbacks=%d messages=%d sssp_runs=%d"
+    s.route_calls s.route_failures s.resolution_fallbacks s.messages_sent
+    s.sssp_runs

@@ -31,5 +31,28 @@ val sssp_run : t -> unit
 val add : into:t -> t -> unit
 (** Accumulate [t]'s counters into [into]. *)
 
+val merge : t list -> t
+(** A fresh [t] holding the fold of every record in order. The merge is a
+    plain sum, so it is independent of how work that produced the records
+    was scheduled — this is the barrier step of the parallel engine. *)
+
+type snapshot = {
+  route_calls : int;
+  route_failures : int;
+  resolution_fallbacks : int;
+  messages_sent : int;
+  sssp_runs : int;
+}
+(** An immutable read view. Results that outlive the run (e.g.
+    [Engine.sampled]) carry a [snapshot], never the live mutable [t], so a
+    later run reusing the accumulator cannot retroactively change reported
+    numbers. *)
+
+val snapshot : t -> snapshot
+(** Copy the current counter values. *)
+
 val to_string : t -> string
 (** One-line [key=value] rendering for report trailers. *)
+
+val snapshot_to_string : snapshot -> string
+(** Same rendering for the immutable view. *)

@@ -1,0 +1,14 @@
+(* L6 positive fixture: raw concurrency primitives outside lib/util/pool.ml.
+   Every use below must be reported individually. *)
+
+let d = Domain.spawn (fun () -> ())
+let m = Mutex.create ()
+let c = Condition.create ()
+let a = Atomic.make 0
+
+let () =
+  Mutex.lock m;
+  Condition.broadcast c;
+  Atomic.incr a;
+  Domain.join d;
+  Mutex.unlock m

@@ -1,0 +1,8 @@
+(* L6 negative fixture: parallelism through the sanctioned task API only.
+   Disco_util.Pool is the choke point; nothing here touches
+   Domain/Mutex/Condition/Atomic directly. *)
+
+let row_sums pool rows =
+  Disco_util.Pool.run pool rows (fun row -> Array.fold_left ( + ) 0 row)
+
+let with_jobs jobs f = Disco_util.Pool.with_pool ~jobs f

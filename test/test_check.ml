@@ -51,6 +51,7 @@ module Detour_router = struct
 
   let route_later t ~tel:_ ~src ~dst = shortest t ~src ~dst
   let state_entries _ _ = 0
+  let fork t = { t with ws = Dijkstra.make_workspace t.graph }
 end
 
 let detour_spec =

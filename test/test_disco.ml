@@ -38,7 +38,9 @@ let () =
       ("bvr-seattle", Test_bvr_seattle.suite);
       ("integration", Test_integration.suite);
       ("dynamic", Test_dynamic.suite);
+      ("pool", Test_pool.suite);
       ("experiments", Test_experiments.suite);
+      ("engine-parallel", Test_engine_parallel.suite);
       ("router-registry", Test_router_registry.suite);
       ("disco-check", Test_check.suite);
       ("disco-check-regressions", Test_check_regressions.suite);

@@ -1,4 +1,4 @@
-(* disco-lint engine: each rule L1-L5 must fire on its positive fixture and
+(* disco-lint engine: each rule L1-L6 must fire on its positive fixture and
    stay quiet on its negative one; waivers suppress exactly the named rule;
    path scoping keeps the report/driver layers exempt. *)
 
@@ -41,7 +41,8 @@ let positive_counts () =
   Alcotest.(check int) "l2 count" 5 (count "l2_polycompare_pos.ml");
   Alcotest.(check int) "l3 count" 2 (count "l3_catchall_pos.ml");
   Alcotest.(check int) "l4 count" 3 (count "l4_print_pos.ml");
-  Alcotest.(check int) "l5 count" 4 (count "l5_obj_magic_pos.ml")
+  Alcotest.(check int) "l5 count" 4 (count "l5_obj_magic_pos.ml");
+  Alcotest.(check int) "l6 count" 9 (count "l6_domain_pos.ml")
 
 let waiver_suppresses () =
   let ds = lint "waiver.ml" in
@@ -77,7 +78,15 @@ let scoping () =
   Alcotest.(check bool)
     "no L2 in experiments" false
     (List.mem "L2"
-       (rules_of (Driver.lint_source ~path:"lib/experiments/x.ml" poly)))
+       (rules_of (Driver.lint_source ~path:"lib/experiments/x.ml" poly)));
+  (* L6 exempts exactly the pool module. *)
+  let spawn = "let d = Domain.spawn (fun () -> ())" in
+  Alcotest.(check bool)
+    "L6 in experiments" true
+    (List.mem "L6" (rules_of (Driver.lint_source ~path:"lib/experiments/x.ml" spawn)));
+  Alcotest.(check bool)
+    "no L6 in the pool" false
+    (List.mem "L6" (rules_of (Driver.lint_source ~path:"lib/util/pool.ml" spawn)))
 
 let severity_override () =
   let ds =
@@ -105,12 +114,12 @@ let parse_error_is_diagnosed () =
     (Driver.summarize ~files:1 ds).Driver.errors
 
 let catalogue_sane () =
-  Alcotest.(check int) "five rules" 5 (List.length Rules.catalogue);
+  Alcotest.(check int) "six rules" 6 (List.length Rules.catalogue);
   List.iter
     (fun id ->
       Alcotest.(check bool) ("rule " ^ id ^ " registered") true
         (Option.is_some (Rules.find id)))
-    [ "L1"; "L2"; "L3"; "L4"; "L5" ]
+    [ "L1"; "L2"; "L3"; "L4"; "L5"; "L6" ]
 
 let json_roundtrip () =
   let ds = lint "l1_random_pos.ml" in
@@ -133,6 +142,8 @@ let suite =
     test "L4 quiet" (check_quiet "L4" "l4_sprintf_neg.ml");
     test "L5 fires" (check_fires "L5" "l5_obj_magic_pos.ml");
     test "L5 quiet" (check_quiet "L5" "l5_annotated_neg.ml");
+    test "L6 fires" (check_fires "L6" "l6_domain_pos.ml");
+    test "L6 quiet" (check_quiet "L6" "l6_pool_neg.ml");
     test "positive fixture counts" positive_counts;
     test "waiver suppresses named rule only" waiver_suppresses;
     test "path scoping" scoping;
