@@ -27,10 +27,8 @@ let max_nodes_arg =
        & info [ "max-nodes" ] ~docv:"N"
            ~doc:"Largest topology size the generator may draw.")
 
-let scheme_arg =
-  Arg.(value & opt (some string) None
-       & info [ "scheme" ] ~docv:"NAME"
-           ~doc:"Check only this registered scheme (default: all).")
+(* Shared with disco-sim: one scheme vocabulary, plus "all". *)
+let scheme_arg = Disco_experiments.Cli.scheme_term ~extra:[ "all" ] ~default:"all" ()
 
 let json_arg =
   Arg.(value & flag
@@ -50,18 +48,10 @@ let replay_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-case progress dots.")
 
-let routers_for scheme =
-  match scheme with
-  | None -> Ok (Routers.all ())
-  | Some name -> (
-      (* Touch the registry first so lazy registration has happened. *)
-      let all = Routers.all () in
-      match List.find_opt (fun p -> String.equal (Protocol.name_of p) name) all with
-      | Some p -> Ok [ p ]
-      | None ->
-          Error
-            (Printf.sprintf "unknown scheme %S (known: %s)" name
-               (String.concat ", " (List.map Protocol.name_of all))))
+(* The term already validated the name against the registry. *)
+let routers_for = function
+  | "all" -> Routers.all ()
+  | name -> [ Routers.find_exn name ]
 
 let emit ~json ~out summary =
   let js = Check.Harness.to_json summary in
@@ -80,9 +70,8 @@ let emit ~json ~out summary =
   | exception Sys_error e -> Error (Printf.sprintf "cannot write report: %s" e)
 
 let run seed cases max_nodes scheme json out replay quiet jobs =
-  match routers_for scheme with
-  | Error e -> `Error (false, e)
-  | Ok routers -> (
+  let routers = routers_for scheme in
+  (
       match replay with
       | Some desc -> (
           match Check.Scenario.of_string desc with

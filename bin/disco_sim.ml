@@ -5,7 +5,7 @@
      disco-sim route --input topo.graph --src 0 --dst 9 --protocol s4
      disco-sim state --kind as-level -n 2048
      disco-sim estimate --kind gnm -n 1024
-     disco-sim trace --kind geometric -n 512 --src 3 --dst 99
+     disco-sim trace --kind geometric -n 512 --src 3 --dst 99 --scheme vrr
      disco-sim dot --kind gnm -n 64 --src 0 --dst 9 -o route.dot
      disco-sim figure --id fig3 --scale small
 *)
@@ -67,53 +67,48 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate a topology as an edge list")
     Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ output))
 
-(* route: route one pair under any registered routing scheme. *)
+let scheme_arg = Disco_experiments.Cli.scheme_term ~default:"disco" ()
+
+(* route: walk one pair through any registered scheme's data plane. *)
 let route_cmd =
   let run kind n seed input src dst protocol =
     match load_graph ~input ~kind ~n ~seed with
     | Error e -> `Error (false, e)
-    | Ok g -> (
+    | Ok g ->
         let nn = Graph.n g in
         if src < 0 || src >= nn || dst < 0 || dst >= nn then
           `Error (false, "src/dst out of range")
-        else
-          match Disco_experiments.Routers.find protocol with
-          | None ->
-              `Error
-                ( false,
-                  "unknown protocol; one of: "
-                  ^ String.concat ", " (Disco_experiments.Routers.names ()) )
-          | Some packed ->
-              let module R = (val packed : Disco_experiments.Protocol.ROUTER) in
-              let tb = Disco_experiments.Testbed.of_graph ~seed g in
-              let router = R.build tb in
-              let tel = Disco_util.Telemetry.create () in
-              let shortest = Dijkstra.distance g src dst in
-              let report name = function
-                | Some path ->
-                    Printf.printf "%-18s %2d hops  stretch %.3f  %s\n" name
-                      (List.length path - 1)
-                      (if shortest > 0.0 then Dijkstra.path_length g path /. shortest
-                       else 1.0)
-                      (String.concat "-" (List.map string_of_int path))
-                | None -> Printf.printf "%-18s routing failed\n" name
-              in
-              report (R.name ^ "-first") (R.route_first router ~tel ~src ~dst);
-              report (R.name ^ "-later") (R.route_later router ~tel ~src ~dst);
-              Printf.printf "%-18s %.3f\n" "shortest" shortest;
-              Printf.printf "%-18s %d entries\n" "state@src"
-                (R.state_entries router src);
-              `Ok ())
+        else begin
+          let packed = Disco_experiments.Routers.find_exn protocol in
+          let module R = (val packed : Disco_experiments.Protocol.ROUTER) in
+          let tb = Disco_experiments.Testbed.of_graph ~seed g in
+          let router = R.build tb in
+          let tel = Disco_util.Telemetry.create () in
+          let shortest = Dijkstra.distance g src dst in
+          let report name = function
+            | Some path ->
+                Printf.printf "%-18s %2d hops  stretch %.3f  %s\n" name
+                  (List.length path - 1)
+                  (if shortest > 0.0 then Dijkstra.path_length g path /. shortest
+                   else 1.0)
+                  (String.concat "-" (List.map string_of_int path))
+            | None -> Printf.printf "%-18s routing failed\n" name
+          in
+          let module Walk = Disco_experiments.Walk in
+          report (R.name ^ "-first")
+            (Walk.first (module R) router ~tel ~graph:g ~src ~dst);
+          report (R.name ^ "-later")
+            (Walk.later (module R) router ~tel ~graph:g ~src ~dst);
+          Printf.printf "%-18s %.3f\n" "shortest" shortest;
+          Printf.printf "%-18s %d entries\n" "state@src"
+            (R.state_entries router src);
+          `Ok ()
+        end
   in
   let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.") in
   let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.") in
-  let protocol =
-    Arg.(value & opt string "disco"
-         & info [ "protocol"; "p" ] ~docv:"PROTO"
-             ~doc:"Any registered scheme: disco, nddisco, s4, vrr, bvr, seattle, tz, pathvector.")
-  in
   Cmd.v (Cmd.info "route" ~doc:"Route one source-destination pair")
-    Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst $ protocol))
+    Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst $ scheme_arg))
 
 (* state: per-protocol state summary. *)
 let state_cmd =
@@ -167,9 +162,10 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc:"Estimate n by synopsis diffusion")
     Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ buckets))
 
-(* trace: packet-level walk with per-hop decisions. *)
+(* trace: packet-level walk with per-hop decisions, for any registered
+   scheme — the same walker the figures measure with. *)
 let trace_cmd =
-  let run kind n seed input src dst =
+  let run kind n seed input src dst protocol =
     match load_graph ~input ~kind ~n ~seed with
     | Error e -> `Error (false, e)
     | Ok g ->
@@ -177,20 +173,27 @@ let trace_cmd =
         if src < 0 || src >= nn || dst < 0 || dst >= nn then
           `Error (false, "src/dst out of range")
         else begin
-          let d = Core.Disco.build ~rng:(Rng.create seed) g in
+          let packed = Disco_experiments.Routers.find_exn protocol in
+          let module R = (val packed : Disco_experiments.Protocol.ROUTER) in
+          let module Walk = Disco_experiments.Walk in
+          let tb = Disco_experiments.Testbed.of_graph ~seed g in
+          let router = R.build tb in
+          let tel = Disco_util.Telemetry.create () in
           let show label tr =
-            Printf.printf "%s:\n%s\n" label
-              (Format.asprintf "%a" Core.Forwarding.pp_trace tr)
+            Printf.printf "%s (%s):\n%s\n" label R.name
+              (Format.asprintf "%a" Core.Dataplane.pp_trace tr)
           in
-          show "first packet" (Core.Forwarding.first_packet d ~src ~dst);
-          show "later packets" (Core.Forwarding.later_packet d ~src ~dst);
+          show "first packet"
+            (Walk.first_trace (module R) router ~tel ~graph:g ~src ~dst);
+          show "later packets"
+            (Walk.later_trace (module R) router ~tel ~graph:g ~src ~dst);
           `Ok ()
         end
   in
   let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.") in
   let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.") in
   Cmd.v (Cmd.info "trace" ~doc:"Trace a packet hop by hop with per-node decisions")
-    Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst))
+    Term.(ret (const run $ kind_arg $ n_arg $ seed_arg $ input_arg $ src $ dst $ scheme_arg))
 
 (* dot: Graphviz export, optionally highlighting a Disco route. *)
 let dot_cmd =

@@ -59,6 +59,16 @@ type mode = Greedy | Fallback of float
    which fallback was entered — otherwise greedy would re-descend into the
    same local minimum. *)
 
+let best_neighbor t ~components u ~dst =
+  let best = ref None and best_d = ref infinity in
+  Graph.iter_neighbors t.graph u (fun v _ ->
+      let d = delta t ~components ~node:v ~dst in
+      if d < !best_d -. 1e-12 then begin
+        best := Some (v, d);
+        best_d := d
+      end);
+  !best
+
 let route t ~src ~dst =
   if src = dst then Some [ src ]
   else begin
@@ -66,16 +76,7 @@ let route t ~src ~dst =
     let components = closest_beacons t dst in
     let b = components.(0) in
     let beacon = t.beacons.(b) in
-    let best_neighbor u =
-      let best = ref None and best_d = ref infinity in
-      Graph.iter_neighbors t.graph u (fun v _ ->
-          let d = delta t ~components ~node:v ~dst in
-          if d < !best_d -. 1e-12 then begin
-            best := Some (v, d);
-            best_d := d
-          end);
-      !best
-    in
+    let best_neighbor u = best_neighbor t ~components u ~dst in
     let rec step u acc ttl mode =
       if u = dst then Some (List.rev (u :: acc))
       else if ttl = 0 then None
@@ -99,3 +100,53 @@ let route t ~src ~dst =
     in
     step src [] (4 * n) Greedy
   end
+
+module D = Disco_core.Dataplane
+
+let ttl_factor = 4
+
+(* Per-hop BVR forwarding from the carried coordinate. One decision per
+   hop: [route]'s same-node Greedy -> Fallback mode switch compresses into
+   the single [Fallback_descent] rewrite (its re-check of the improving
+   neighbor against the just-recorded bound fails by construction, so both
+   machines take the same parent hop). The header carries only the mode
+   ([Greedy]/[Fallback] phase) and the fallback re-entry bound [fbound];
+   everything else — the destination's closest beacons, the asymmetric
+   delta — is recomputed at each node from the coordinate, which the
+   [extra_bytes] account for on the wire. *)
+let forward t (h : D.header) ~at:u =
+  let dst = h.D.dst in
+  if u = dst then D.Deliver
+  else begin
+    let components = closest_beacons t dst in
+    let b = components.(0) in
+    let beacon = t.beacons.(b) in
+    let descend () =
+      if u = beacon then D.Drop D.No_route (* stuck at the beacon: BVR would flood *)
+      else
+        match t.parent.(b).(u) with
+        | -1 -> D.Drop D.No_route
+        | p -> (
+            match h.D.phase with
+            | D.Fallback -> D.Forward p
+            | _ ->
+                let here = delta t ~components ~node:u ~dst in
+                D.Rewrite
+                  ( { h with D.phase = D.Fallback; fbound = here },
+                    p,
+                    D.Fallback_descent ))
+    in
+    match (h.D.phase, best_neighbor t ~components u ~dst) with
+    | D.Greedy, Some (v, d) when d < delta t ~components ~node:u ~dst -. 1e-12
+      ->
+        D.Forward v
+    | D.Fallback, Some (v, d) when d < h.D.fbound -. 1e-12 ->
+        D.Rewrite
+          ({ h with D.phase = D.Greedy; fbound = infinity }, v, D.Greedy_commit v)
+    | (D.Greedy | D.Fallback), _ -> descend ()
+    | (D.Seek _ | D.Steer _ | D.Carry), _ ->
+        D.Drop (D.Protocol_error "bvr: foreign header phase")
+  end
+
+let packet_header t ~src:_ ~dst =
+  { (D.plain ~dst D.Greedy) with D.extra_bytes = 4 * t.routing_beacons }

@@ -32,5 +32,21 @@ val route : t -> src:int -> dst:int -> int list option
 val state_entries : t -> int -> int
 (** Coordinates plus beacon next-hops at one node. *)
 
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (4, matching {!route}). *)
+
+val forward :
+  t ->
+  Disco_core.Dataplane.header ->
+  at:int ->
+  Disco_core.Dataplane.decision
+(** One greedy/fallback step at node [at] from the carried coordinate
+    (phases {!Dataplane.Greedy}/{!Dataplane.Fallback}, re-entry bound in
+    [fbound]). Walking {!forward} reproduces {!route} exactly. *)
+
+val packet_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+(** The header a source emits: greedy phase, the destination's coordinate
+    as payload bytes (4 per routing beacon). *)
+
 val coordinate : t -> int -> float array
 (** The node's beacon-distance vector (exposed for tests). *)

@@ -127,6 +127,121 @@ let route_first t ~src ~dst =
     end
   end
 
+module D = Core.Dataplane
+
+let ttl_factor = 4
+
+(* Per-hop S4 forwarding. Headers are set up by the source: direct label
+   route when it already knows the destination ([Carry]), else a [Steer]
+   leg toward the resolution owner (first packet) or the destination's
+   landmark (later packets). Any node whose cluster (or landmark table)
+   holds the destination diverts — the per-hop form of the oracle's
+   to-destination shortcutting; every such route is a shortest path to the
+   destination, so walk length equals the oracle's even when the diversion
+   points differ. *)
+
+(* Waypoint reached with no labels left: this node resolves the next leg.
+   At the destination's landmark the explicit descent is written; at the
+   resolution owner the packet is steered onward to that landmark. *)
+let steer_arrival t (h : D.header) ~at:u =
+  let dst = h.D.dst in
+  let lm = t.landmarks.Core.Landmarks.nearest.(dst) in
+  if u = lm then
+    match Core.Landmark_trees.path_from t.trees ~lm dst with
+    | _ :: (next :: rest) ->
+        D.Rewrite
+          ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
+            next,
+            D.Address_rewrite )
+    | _ -> D.Drop D.No_route
+  else
+    match Core.Landmark_trees.path_to t.trees u ~lm with
+    | _ :: (next :: rest) ->
+        D.Rewrite
+          ({ h with D.labels = rest; waypoint = lm }, next, D.Address_rewrite)
+    | _ -> D.Drop D.No_route
+
+let forward t (h : D.header) ~at:u =
+  let dst = h.D.dst in
+  if u = dst then D.Deliver
+  else begin
+    let divert () =
+      match knows t u dst with
+      | Some (_ :: (_ :: _ as direct)) when direct <> h.D.labels -> (
+          match direct with
+          | next :: rest ->
+              Some
+                (D.Rewrite
+                   ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
+                     next,
+                     D.Shortcut_divert ))
+          | [] -> None)
+      | _ -> None
+    in
+    match h.D.phase with
+    | D.Carry | D.Steer _ -> (
+        match divert () with
+        | Some d -> d
+        | None -> (
+            match h.D.labels with
+            | next :: rest ->
+                D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+            | [] -> (
+                match h.D.phase with
+                | D.Steer _ -> steer_arrival t h ~at:u
+                | _ -> D.Drop D.No_route)))
+    | D.Seek _ | D.Greedy | D.Fallback ->
+        D.Drop (D.Protocol_error "s4: foreign header phase")
+  end
+
+let carry_header ~dst path =
+  match path with
+  | _ :: rest -> { (D.plain ~dst D.Carry) with D.labels = rest }
+  | [] -> D.plain ~dst D.Carry
+
+let steer_header ~dst ~waypoint path =
+  match path with
+  | _ :: rest ->
+      {
+        (D.plain ~dst (D.Steer { tried_proxy = false })) with
+        D.labels = rest;
+        waypoint;
+      }
+  | [] -> D.plain ~dst D.Carry
+
+let later_header t ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else if t.landmarks.Core.Landmarks.is_landmark.(dst) then
+    carry_header ~dst (Core.Landmark_trees.path_to t.trees src ~lm:dst)
+  else begin
+    match cluster_path t ~node:src ~target:dst with
+    | Some p -> carry_header ~dst p
+    | None ->
+        let lm = t.landmarks.Core.Landmarks.nearest.(dst) in
+        if lm = src then
+          carry_header ~dst (Core.Landmark_trees.path_from t.trees ~lm dst)
+        else
+          steer_header ~dst ~waypoint:lm
+            (Core.Landmark_trees.path_to t.trees src ~lm)
+  end
+
+let first_header t ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else begin
+    let direct_known =
+      t.landmarks.Core.Landmarks.is_landmark.(dst)
+      || in_cluster t ~node:src ~target:dst
+    in
+    if direct_known then later_header t ~src ~dst
+    else begin
+      let owner = Disco_hash.Consistent_hash.owner_of_name t.ring t.names.(dst) in
+      if owner = src then later_header t ~src ~dst
+      else
+        steer_header ~dst ~waypoint:owner
+          (Core.Landmark_trees.path_to t.trees src ~lm:owner)
+    end
+  end
+
 let cluster_sizes t =
   let n = Graph.n t.graph in
   let counts = Array.make n 0 in

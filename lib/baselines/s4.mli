@@ -46,6 +46,29 @@ val route_first : t -> src:int -> dst:int -> int list
     resolution database, then continue as {!route_later} from there —
     unbounded stretch. *)
 
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (4). *)
+
+val forward :
+  t ->
+  Disco_core.Dataplane.header ->
+  at:int ->
+  Disco_core.Dataplane.decision
+(** One forwarding decision at node [at]: divert if the node's cluster or
+    landmark table holds the destination, else consume a label; a
+    [Steer] waypoint (resolution owner, then the destination's landmark)
+    rewrites the next leg on arrival. Walks agree with the route oracles
+    on delivery and weighted length (diversion points may differ — every
+    divert rides a shortest path). *)
+
+val first_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+(** First packet: explicit route if the source knows the destination,
+    else a [Steer] leg toward the resolution owner of [h(name_dst)]. *)
+
+val later_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+(** Once the source knows the destination's landmark: direct labels, or a
+    [Steer] leg toward that landmark. *)
+
 val cluster_sizes : t -> int array
 (** |cluster(v)| for every v, by accumulating every node's ball — O(total
     cluster state). This is the quantity that explodes on Internet-like

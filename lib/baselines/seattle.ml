@@ -50,3 +50,58 @@ let state_entries t v =
   let directory = ref 0 in
   Array.iter (fun r -> if r = v then incr directory) t.resolver;
   Graph.n t.graph - 1 + !directory
+
+module D = Disco_core.Dataplane
+
+let ttl_factor = 4
+
+(* SEATTLE's data plane has no shortcutting: packets follow the exact
+   label route the source's link-state table produced (so walks equal the
+   oracle node for node). A first packet steers to the resolver, which
+   looks the destination up in its directory share and writes the onward
+   route from its own table. While steering, the packet is addressed to
+   the resolver — a node it rides through does not inspect the inner
+   destination, so it only delivers in [Carry] (matching the oracle,
+   whose resolver detour may pass through the destination). *)
+let forward t (h : D.header) ~at:u =
+  match (h.D.phase, h.D.labels) with
+  | D.Carry, _ when u = h.D.dst -> D.Deliver
+  | (D.Carry | D.Steer _), next :: rest ->
+      D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+  | D.Carry, [] -> D.Drop D.No_route
+  | D.Steer _, [] -> (
+        (* At the resolver: its directory share holds the destination. *)
+        match shortest t ~src:u ~dst:h.D.dst with
+        | _ :: (next :: rest) ->
+            D.Rewrite
+              ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
+                next,
+                D.Address_rewrite )
+        | _ -> D.Drop D.No_route)
+    | (D.Seek _ | D.Greedy | D.Fallback), _ ->
+        D.Drop (D.Protocol_error "seattle: foreign header phase")
+
+let carry_header ~dst path =
+  match path with
+  | _ :: rest -> { (D.plain ~dst D.Carry) with D.labels = rest }
+  | [] -> D.plain ~dst D.Carry
+
+let later_header t ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else carry_header ~dst (shortest t ~src ~dst)
+
+let first_header t ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else begin
+    let r = t.resolver.(dst) in
+    if r = src || r = dst then later_header t ~src ~dst
+    else
+      match shortest t ~src ~dst:r with
+      | _ :: rest ->
+          {
+            (D.plain ~dst (D.Steer { tried_proxy = false })) with
+            D.labels = rest;
+            waypoint = r;
+          }
+      | [] -> later_header t ~src ~dst
+  end

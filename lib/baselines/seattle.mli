@@ -24,3 +24,18 @@ val route_later : t -> src:int -> dst:int -> int list
 
 val state_entries : t -> int -> int
 (** n-1 link-state routes + the node's directory share. *)
+
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (4). *)
+
+val forward :
+  t ->
+  Disco_core.Dataplane.header ->
+  at:int ->
+  Disco_core.Dataplane.decision
+(** Consume the explicit label route; a first packet's [Steer] leg ends at
+    the resolver, which writes the onward route from its own link-state
+    table. No shortcutting — walks equal the route oracles node for node. *)
+
+val first_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+val later_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header

@@ -10,6 +10,8 @@ type t = {
   pivot : int array array; (* pivot.(i).(v) = p_i(v); -1 if unreachable *)
   pivot_dist : float array array; (* d(v, A_i) *)
   bunch : (int, float) Hashtbl.t array; (* per node: w -> d(v, w) *)
+  trees : (int, Dijkstra.sssp) Disco_util.Pool.Memo.t;
+      (* lazy per-pivot SSSP shared by route and forward *)
 }
 
 let k t = t.k
@@ -85,7 +87,15 @@ let build ~rng ~k graph =
     pivot_dist.(i) <- multi.Dijkstra.mdist
   done;
   let t =
-    { graph; k; level; pivot; pivot_dist; bunch = Array.init n (fun _ -> Hashtbl.create 16) }
+    {
+      graph;
+      k;
+      level;
+      pivot;
+      pivot_dist;
+      bunch = Array.init n (fun _ -> Hashtbl.create 16);
+      trees = Disco_util.Pool.Memo.create ();
+    }
   in
   for w = 0 to n - 1 do
     (* w contributes at each level it belongs to. *)
@@ -140,6 +150,13 @@ let routing_pivot t ~src ~dst =
   in
   climb 0 src dst src
 
+(* Lazy per-pivot SSSP: the memo makes fills safe from pool tasks, and
+   each fill uses its own workspace (the returned arrays are fresh, so
+   cached trees are workspace-independent). *)
+let tree t w =
+  Disco_util.Pool.Memo.find_or_add t.trees w (fun () ->
+      Dijkstra.sssp ~ws:(Dijkstra.make_workspace t.graph) t.graph w)
+
 let route t ~src ~dst =
   if src = dst then Some [ src ]
   else
@@ -148,7 +165,7 @@ let route t ~src ~dst =
     | Some w ->
         (* Both legs of [src ~> w ~> dst] are shortest paths, so one run
            rooted at the pivot reconstructs the whole route. *)
-        let sp = Dijkstra.sssp t.graph w in
+        let sp = tree t w in
         if sp.Dijkstra.dist.(src) = infinity || sp.Dijkstra.dist.(dst) = infinity
         then None
         else begin
@@ -161,3 +178,60 @@ let route t ~src ~dst =
           | [] -> None
           | _ :: tail -> Some (List.rev (from_pivot src) @ tail)
         end
+
+module D = Disco_core.Dataplane
+
+let ttl_factor = 4
+
+(* Per-hop TZ forwarding: the header carries the routing pivot found by
+   the source's climb; nodes forward up the pivot's shortest-path tree
+   ([Steer] with no labels — each hop is a local parent lookup), and the
+   pivot itself writes the explicit descent to the destination. While
+   climbing, the packet is addressed to the pivot, so a node it rides
+   through does not deliver even if it is the destination (the oracle's
+   route may cross the destination on the way up); only the pivot itself
+   and the [Carry] descent deliver. Walks equal {!route} node for node. *)
+let forward t (h : D.header) ~at:u =
+  let dst = h.D.dst in
+  match h.D.phase with
+    | D.Steer _ ->
+        let w = h.D.waypoint in
+        if w < 0 then D.Drop D.No_route (* no common pivot: disconnected *)
+        else begin
+          let sp = tree t w in
+          if u = w then begin
+            if u = dst then D.Deliver
+            else
+            match
+              Dijkstra.path_of_parents
+                ~parent:(fun x -> sp.Dijkstra.parent.(x))
+                ~src:w ~dst
+            with
+            | _ :: (next :: rest) ->
+                D.Rewrite
+                  ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
+                    next,
+                    D.Address_rewrite )
+            | _ -> D.Drop D.No_route
+          end
+          else begin
+            match sp.Dijkstra.parent.(u) with
+            | -1 -> D.Drop D.No_route
+            | p -> D.Forward p
+          end
+        end
+    | D.Carry when u = dst -> D.Deliver
+    | D.Carry -> (
+        match h.D.labels with
+        | next :: rest ->
+            D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+        | [] -> D.Drop D.No_route)
+    | D.Seek _ | D.Greedy | D.Fallback ->
+        D.Drop (D.Protocol_error "tz: foreign header phase")
+
+let packet_header t ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else begin
+    let w = match routing_pivot t ~src ~dst with Some w -> w | None -> -1 in
+    { (D.plain ~dst (D.Steer { tried_proxy = false })) with D.waypoint = w }
+  end

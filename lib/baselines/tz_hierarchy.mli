@@ -45,3 +45,19 @@ val stretch_bound : t -> float
 
 val in_bunch : t -> node:int -> target:int -> bool
 (** Is [target] in [node]'s bunch? (Exposed for tests.) *)
+
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (4). *)
+
+val forward :
+  t ->
+  Disco_core.Dataplane.header ->
+  at:int ->
+  Disco_core.Dataplane.decision
+(** One forwarding decision: climb the carried pivot's shortest-path tree
+    (each hop a local parent lookup), then the pivot writes the explicit
+    descent. Walking {!forward} reproduces {!route} node for node. *)
+
+val packet_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+(** The header the source emits: the routing pivot of the (src, dst) climb
+    as the [Steer] waypoint (-1 when the pair is disconnected). *)

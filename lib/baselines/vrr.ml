@@ -18,6 +18,48 @@ type t = {
 
 let pair_key x y = if x < y then (x, y) else (y, x)
 
+(* Next hop at [u] along some stored path ending at [e]. *)
+let next_toward ~graph ~tables ~usable u e =
+  let neighbor = ref false in
+  Graph.iter_neighbors graph u (fun v _ -> if v = e && usable v then neighbor := true);
+  if !neighbor then Some e
+  else
+    List.find_map
+      (fun entry ->
+        if entry.ea = e && entry.next_a <> u then Some entry.next_a
+        else if entry.eb = e && entry.next_b <> u then Some entry.next_b
+        else None)
+      tables.(u)
+
+let direct_neighbor ~graph ~usable u dst =
+  let direct = ref false in
+  Graph.iter_neighbors graph u (fun v _ -> if v = dst && usable v then direct := true);
+  !direct
+
+(* The endpoint known at [u] (physical neighbor or stored-path endpoint)
+   virtually strictly closer to [dst] than [bound], if any, with its
+   distance. *)
+let best_endpoint ~graph ~vids ~tables ~usable u ~dst ~bound =
+  let vd x = Hash_space.ring_distance vids.(x) vids.(dst) in
+  let better a b = Hash_space.compare_unsigned a b < 0 in
+  let best = ref None and best_d = ref bound in
+  let consider endpoint =
+    if endpoint <> u && usable endpoint then begin
+      let d = vd endpoint in
+      if better d !best_d then begin
+        best := Some endpoint;
+        best_d := d
+      end
+    end
+  in
+  Graph.iter_neighbors graph u (fun v _ -> if usable v then consider v);
+  List.iter
+    (fun e ->
+      consider e.ea;
+      consider e.eb)
+    tables.(u);
+  (!best, !best_d)
+
 (* Greedy VRR forwarding over the given tables. [usable] filters which
    physical neighbors may be used (joined nodes only, during build).
 
@@ -29,60 +71,29 @@ let pair_key x y = if x < y then (x, y) else (y, x)
    paths broken by the incremental join state. *)
 let greedy_route ~graph ~vids ~tables ~usable ~src ~dst =
   let n = Graph.n graph in
-  let vd x = Hash_space.ring_distance vids.(x) vids.(dst) in
-  let better a b = Hash_space.compare_unsigned a b < 0 in
-  (* Next hop at [u] along some stored path ending at [e]. *)
-  let next_toward u e =
-    let neighbor = ref false in
-    Graph.iter_neighbors graph u (fun v _ -> if v = e && usable v then neighbor := true);
-    if !neighbor then Some e
-    else
-      List.find_map
-        (fun entry ->
-          if entry.ea = e && entry.next_a <> u then Some entry.next_a
-          else if entry.eb = e && entry.next_b <> u then Some entry.next_b
-          else None)
-        tables.(u)
-  in
   (* [bound] is the virtual distance of the best endpoint ever committed;
      it only shrinks (monotone descent in id space, VRR's progress
      property), which rules out endpoint oscillation. *)
   let rec step u committed bound acc ttl =
     if u = dst then Some (List.rev (u :: acc))
     else if ttl = 0 then None
+    else if direct_neighbor ~graph ~usable u dst then
+      Some (List.rev (dst :: u :: acc))
     else begin
-      let direct = ref false in
-      Graph.iter_neighbors graph u (fun v _ -> if v = dst && usable v then direct := true);
-      if !direct then Some (List.rev (dst :: u :: acc))
-      else begin
-        let committed =
-          match committed with Some c when c = u -> None | c -> c
-        in
-        (* Strictly better endpoint than anything committed so far? *)
-        let best = ref None and best_d = ref bound in
-        let consider endpoint =
-          if endpoint <> u && usable endpoint then begin
-            let d = vd endpoint in
-            if better d !best_d then begin
-              best := Some endpoint;
-              best_d := d
-            end
-          end
-        in
-        Graph.iter_neighbors graph u (fun v _ -> if usable v then consider v);
-        List.iter
-          (fun e ->
-            consider e.ea;
-            consider e.eb)
-          tables.(u);
-        let target = match !best with Some _ as b -> b | None -> committed in
-        match target with
-        | None -> None
-        | Some e -> (
-            match next_toward u e with
-            | None -> None (* broken corridor *)
-            | Some hop -> step hop (Some e) !best_d (u :: acc) (ttl - 1))
-      end
+      let committed =
+        match committed with Some c when c = u -> None | c -> c
+      in
+      (* Strictly better endpoint than anything committed so far? *)
+      let best, best_d =
+        best_endpoint ~graph ~vids ~tables ~usable u ~dst ~bound
+      in
+      let target = match best with Some _ as b -> b | None -> committed in
+      match target with
+      | None -> None
+      | Some e -> (
+          match next_toward ~graph ~tables ~usable u e with
+          | None -> None (* broken corridor *)
+          | Some hop -> step hop (Some e) best_d (u :: acc) (ttl - 1))
     end
   in
   (* Int64.minus_one is 2^64 - 1 read as unsigned: no initial bound. *)
@@ -269,6 +280,49 @@ let route t ~src ~dst =
   else
     greedy_route ~graph:t.graph ~vids:t.vids ~tables:t.tables
       ~usable:(fun _ -> true) ~src ~dst
+
+module D = Core.Dataplane
+
+(* VRR's corridors can wander: the converged greedy walk is bounded by 8n
+   decisions (matching [greedy_route]'s TTL). *)
+let ttl_factor = 8
+
+(* Per-hop greedy forwarding: exactly one [greedy_route] step. The packet
+   carries the committed endpoint ([anchor]) and the monotone bound on the
+   best virtual distance ever committed ([vbound]); [Int64.minus_one] (max
+   unsigned) is the no-bound sentinel in both this header field and the
+   route oracle. The 8 [extra_bytes] are the destination's virtual id. *)
+let forward t (h : D.header) ~at:u =
+  let dst = h.D.dst in
+  let usable _ = true in
+  if u = dst then D.Deliver
+  else if direct_neighbor ~graph:t.graph ~usable u dst then D.Forward dst
+  else begin
+    let committed = if h.D.anchor = u then -1 else h.D.anchor in
+    let best, best_d =
+      best_endpoint ~graph:t.graph ~vids:t.vids ~tables:t.tables ~usable u
+        ~dst ~bound:h.D.vbound
+    in
+    let target =
+      match best with
+      | Some e -> Some e
+      | None -> if committed >= 0 then Some committed else None
+    in
+    match target with
+    | None -> D.Drop D.No_route
+    | Some e -> (
+        match next_toward ~graph:t.graph ~tables:t.tables ~usable u e with
+        | None -> D.Drop D.No_route (* broken corridor *)
+        | Some hop ->
+            if e = h.D.anchor && Int64.equal best_d h.D.vbound then
+              D.Forward hop
+            else
+              D.Rewrite
+                ({ h with D.anchor = e; vbound = best_d }, hop, D.Greedy_commit e))
+  end
+
+let packet_header (_ : t) ~src:_ ~dst =
+  { (D.plain ~dst D.Greedy) with D.extra_bytes = 8 }
 
 let state_entries t =
   Array.mapi

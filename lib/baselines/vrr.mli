@@ -31,6 +31,24 @@ val route : t -> src:int -> dst:int -> int list option
 (** Greedy virtual-ring forwarding; [None] if the packet loops or stalls
     (counted by {!failed_routes} — rare on connected graphs). *)
 
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (8, matching {!route}'s internal TTL —
+    VRR corridors can wander well past the diameter). *)
+
+val forward :
+  t ->
+  Disco_core.Dataplane.header ->
+  at:int ->
+  Disco_core.Dataplane.decision
+(** One greedy step at node [at], consulting only its pset, its stored
+    path entries and the header's committed endpoint/bound. Walking
+    {!forward} from [src] reproduces {!route} exactly (same path, same
+    delivery verdict). *)
+
+val packet_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+(** The header a source emits: phase {!Dataplane.Greedy}, no commitment
+    yet, the destination's virtual id as 8 payload bytes. *)
+
 val state_entries : t -> int array
 (** Routing entries per node: converged path entries through the node plus
     its physical-neighbor (pset) entries. *)

@@ -7,9 +7,11 @@ module Vicinity = Disco_core.Vicinity
 module Landmarks = Disco_core.Landmarks
 module Params = Disco_core.Params
 module Landmark_churn = Disco_core.Landmark_churn
+module Dataplane = Disco_core.Dataplane
 module Protocol = Disco_experiments.Protocol
 module Testbed = Disco_experiments.Testbed
 module Routers = Disco_experiments.Routers
+module Walk = Disco_experiments.Walk
 
 type outcome = {
   n : int;
@@ -60,9 +62,12 @@ let validate g ~src ~dst path =
 type pair_result = {
   src : int;
   dst : int;
-  first : int list option;
-  later : int list option;
+  first : int list option;  (** oracle's first-packet route *)
+  later : int list option;  (** oracle's post-handshake route *)
+  walk_first : Dataplane.trace;  (** data plane's first packet *)
+  walk_later : Dataplane.trace;
   first_fallback : bool;
+      (** the first-packet walk detoured via the resolution database *)
 }
 
 type measurement = {
@@ -71,21 +76,34 @@ type measurement = {
   tel : Telemetry.t;
 }
 
+(* Each pair is measured twice over: the closed-form oracle route and a
+   hop-by-hop walk of the scheme's data plane. The runner then holds the
+   two against each other (check_walk) on top of the oracle-side
+   invariants. *)
 let measure (packed : Protocol.packed) tb pairs =
   let module R = (val packed : Protocol.ROUTER) in
   let tel = Telemetry.create () in
   let rt = R.build tb in
+  let graph = tb.Testbed.graph in
   let results =
     List.map
       (fun (src, dst) ->
-        let fallbacks_before = tel.Telemetry.resolution_fallbacks in
-        let first = R.route_first rt ~tel ~src ~dst in
-        let first_fallback = tel.Telemetry.resolution_fallbacks > fallbacks_before in
-        let later = R.route_later rt ~tel ~src ~dst in
-        { src; dst; first; later; first_fallback })
+        let first = R.oracle_first rt ~tel ~src ~dst in
+        let later = R.oracle_later rt ~tel ~src ~dst in
+        let walk_first = Walk.first_trace (module R) rt ~tel ~graph ~src ~dst in
+        let walk_later = Walk.later_trace (module R) rt ~tel ~graph ~src ~dst in
+        {
+          src;
+          dst;
+          first;
+          later;
+          walk_first;
+          walk_later;
+          first_fallback = Walk.fell_back walk_first;
+        })
       pairs
   in
-  let n = Graph.n (Testbed.nd tb).Nddisco.graph in
+  let n = Graph.n graph in
   let states = Array.init n (fun v -> R.state_entries rt v) in
   { results; states; tel }
 
@@ -134,6 +152,73 @@ let check_phase ~violations ~scheme ~spec ~covered g ~phase ~oracle pr route
                    { phase; src = pr.src; dst = pr.dst; stretch; bound = b })
           | _ -> ()))
 
+(* Walk ≡ oracle, per scheme. Both faces must agree on the delivery
+   verdict; when both deliver, [walk_exact] schemes must reproduce the
+   oracle's node sequence and the rest (the shortcut schemes) must land on
+   the same weighted length — their walks may divert from knowledge at a
+   different-but-equivalent point, but every divert rides a shortest path.
+   A [Protocol_error] drop is a bug regardless of what the oracle says:
+   the forward function broke the data-plane contract itself. *)
+let check_walk ~violations ~scheme ~spec g ~phase pr ~oracle_route
+    (tr : Dataplane.trace) =
+  let add kind = violations := { Violation.scheme; kind } :: !violations in
+  let src = pr.src and dst = pr.dst in
+  match tr.Dataplane.dropped with
+  | Some (Dataplane.Protocol_error _ as r) ->
+      add
+        (Violation.Dataplane_error
+           { phase; src; dst; detail = Dataplane.reason_to_string r })
+  | _ -> (
+      match (oracle_route, tr.Dataplane.delivered) with
+      | None, false -> ()
+      | None, true ->
+          add
+            (Violation.Walk_divergence
+               { phase; src; dst; detail = "walk delivered but the oracle found no route" })
+      | Some _, false ->
+          let why =
+            match tr.Dataplane.dropped with
+            | Some r -> Dataplane.reason_to_string r
+            | None -> "not delivered"
+          in
+          add
+            (Violation.Walk_divergence
+               {
+                 phase;
+                 src;
+                 dst;
+                 detail = Printf.sprintf "oracle routes but the walk dropped (%s)" why;
+               })
+      | Some path, true ->
+          (* The walker validated every hop as a graph edge; both lengths
+             exist. *)
+          let len_walk = Dijkstra.path_length g tr.Dataplane.path in
+          let len_oracle = Dijkstra.path_length g path in
+          if spec.Spec.walk_exact && tr.Dataplane.path <> path then
+            add
+              (Violation.Walk_divergence
+                 {
+                   phase;
+                   src;
+                   dst;
+                   detail =
+                     Printf.sprintf
+                       "walk path differs from the oracle's (%d vs %d hops)"
+                       (List.length tr.Dataplane.path - 1)
+                       (List.length path - 1);
+                 })
+          else if Float.abs (len_walk -. len_oracle) > eps then
+            add
+              (Violation.Walk_divergence
+                 {
+                   phase;
+                   src;
+                   dst;
+                   detail =
+                     Printf.sprintf "walk length %.6f, oracle length %.6f"
+                       len_walk len_oracle;
+                 }))
+
 let check_states ~violations ~scheme ~spec ~n states =
   let add kind = violations := { Violation.scheme; kind } :: !violations in
   (* Report only the worst offending node per kind, not one violation per
@@ -162,21 +247,28 @@ let check_states ~violations ~scheme ~spec ~n states =
   | Some (node, entries, bound) -> add (Violation.State_exceeded { node; entries; bound })
   | None -> ()
 
-let tel_fields (t : Telemetry.t) =
-  ( t.Telemetry.route_calls,
-    t.Telemetry.route_failures,
-    t.Telemetry.resolution_fallbacks,
-    t.Telemetry.messages_sent )
-
 let routes_of m = List.map (fun pr -> (pr.first, pr.later)) m.results
+
+let walks_of m =
+  List.map
+    (fun pr ->
+      ( pr.walk_first.Dataplane.path,
+        pr.walk_first.Dataplane.delivered,
+        pr.walk_later.Dataplane.path,
+        pr.walk_later.Dataplane.delivered ))
+    m.results
 
 let check_determinism ~violations ~scheme m m' =
   let add what =
     violations := { Violation.scheme; kind = Violation.Nondeterministic { what } } :: !violations
   in
   if routes_of m <> routes_of m' then add "routes";
+  if walks_of m <> walks_of m' then add "data-plane walks";
   if m.states <> m'.states then add "state tables";
-  if tel_fields m.tel <> tel_fields m'.tel then add "telemetry counters"
+  (* The full snapshot: the new walk/hop/rewrite/byte counters must
+     reproduce bit for bit along with the oracle-side ones. *)
+  if Telemetry.snapshot m.tel <> Telemetry.snapshot m'.tel then
+    add "telemetry counters"
 
 let check_differential ~violations disco nd =
   List.iter2
@@ -276,7 +368,11 @@ let run ?routers ?(spec_of = Spec.find) (sc : Scenario.t) =
             check_phase ~violations ~scheme ~spec ~covered g ~phase:"first" ~oracle pr
               pr.first ~fallback:pr.first_fallback;
             check_phase ~violations ~scheme ~spec ~covered g ~phase:"later" ~oracle pr
-              pr.later ~fallback:false)
+              pr.later ~fallback:false;
+            check_walk ~violations ~scheme ~spec g ~phase:"first" pr
+              ~oracle_route:pr.first pr.walk_first;
+            check_walk ~violations ~scheme ~spec g ~phase:"later" pr
+              ~oracle_route:pr.later pr.walk_later)
           m.results oracles;
         check_states ~violations ~scheme ~spec ~n m.states;
         check_determinism ~violations ~scheme m m';

@@ -22,6 +22,14 @@ type t = {
           w.h.p. escape hatch of Theorem 1, observable via telemetry) *)
   state_bound : (n:int -> float) option;
       (** per-node routing-entry bound, slack included *)
+  walk_exact : bool;
+      (** the data-plane walk must reproduce the oracle's node sequence
+          exactly. True for schemes whose [forward] replays the oracle's
+          decision procedure step for step (path vector, SEATTLE, BVR,
+          VRR, TZ); false for the shortcut schemes (disco, nddisco, s4),
+          whose walks may divert at a different-but-equivalent point —
+          there the runner requires equal delivery verdicts and equal
+          weighted length instead. *)
 }
 
 val sqrt_state_slack : float

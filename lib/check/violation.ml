@@ -14,6 +14,8 @@ type kind =
   | Nondeterministic of { what : string }
   | Differential_mismatch of { other : string; src : int; dst : int; detail : string }
   | Churn_violation of { detail : string }
+  | Walk_divergence of { phase : string; src : int; dst : int; detail : string }
+  | Dataplane_error of { phase : string; src : int; dst : int; detail : string }
 
 type t = { scheme : string; kind : kind }
 
@@ -38,6 +40,12 @@ let describe_kind = function
   | Differential_mismatch { other; src; dst; detail } ->
       Printf.sprintf "disagrees with %s on %d->%d: %s" other src dst detail
   | Churn_violation { detail } -> detail
+  | Walk_divergence { phase; src; dst; detail } ->
+      Printf.sprintf "%s-packet walk diverges from the oracle on %d->%d: %s"
+        phase src dst detail
+  | Dataplane_error { phase; src; dst; detail } ->
+      Printf.sprintf "%s-packet data plane errored on %d->%d: %s" phase src
+        dst detail
 
 let describe t = Printf.sprintf "[%s] %s" t.scheme (describe_kind t.kind)
 
@@ -65,6 +73,8 @@ let kind_label = function
   | Nondeterministic _ -> "nondeterministic"
   | Differential_mismatch _ -> "differential-mismatch"
   | Churn_violation _ -> "churn-violation"
+  | Walk_divergence _ -> "walk-divergence"
+  | Dataplane_error _ -> "dataplane-error"
 
 let to_json t =
   Printf.sprintf {|{"scheme":"%s","kind":"%s","detail":"%s"}|} (escape t.scheme)

@@ -29,6 +29,14 @@ type kind =
           produced different answers *)
   | Churn_violation of { detail : string }
       (** landmark hysteresis flipped inside a sub-factor-2 band *)
+  | Walk_divergence of { phase : string; src : int; dst : int; detail : string }
+      (** the hop-by-hop walk and the closed-form oracle disagree: on the
+          delivery verdict, on weighted length, or (for [walk_exact]
+          schemes) on the node sequence itself *)
+  | Dataplane_error of { phase : string; src : int; dst : int; detail : string }
+      (** the walker hit a protocol error: [forward] returned a
+          non-neighbor, delivered away from the destination, or refused
+          its own header *)
 
 type t = { scheme : string; kind : kind }
 

@@ -1,0 +1,221 @@
+module Graph = Disco_graph.Graph
+module Bits = Disco_util.Bits
+
+type reason =
+  | Ttl_expired
+  | Loop_detected
+  | No_route
+  | Protocol_error of string
+
+type phase =
+  | Seek of { tried_proxy : bool }
+  | Steer of { tried_proxy : bool }
+  | Carry
+  | Greedy
+  | Fallback
+
+type header = {
+  dst : int;
+  phase : phase;
+  labels : int list;
+  waypoint : int;
+  anchor : int;
+  fbound : float;
+  vbound : Disco_hash.Hash_space.id;
+  extra_bytes : int;
+}
+
+let plain ~dst phase =
+  {
+    dst;
+    phase;
+    labels = [];
+    waypoint = -1;
+    anchor = -1;
+    fbound = infinity;
+    vbound = Int64.minus_one;
+    extra_bytes = 0;
+  }
+
+type action =
+  | Delivered
+  | Dropped of reason
+  | Direct_route
+  | Group_store_hit
+  | To_group_proxy of int
+  | Resolution_via of int
+  | Shortcut_divert
+  | Address_rewrite
+  | Directory_detour of int
+  | Toward_pivot of int
+  | Label_hop
+  | Hop of int
+  | Greedy_commit of int
+  | Fallback_descent
+
+let reason_to_string = function
+  | Ttl_expired -> "ttl expired"
+  | Loop_detected -> "loop detected"
+  | No_route -> "no route"
+  | Protocol_error what -> "protocol error: " ^ what
+
+let action_to_string = function
+  | Delivered -> "deliver"
+  | Dropped r -> "drop: " ^ reason_to_string r
+  | Direct_route -> "direct route in local tables"
+  | Group_store_hit -> "group store hit: rewriting with destination address"
+  | To_group_proxy w -> Printf.sprintf "forwarding to group proxy %d" w
+  | Resolution_via lm -> Printf.sprintf "resolution fallback via landmark %d" lm
+  | Shortcut_divert -> "to-destination shortcut"
+  | Address_rewrite -> "address learned: explicit label route"
+  | Directory_detour r -> Printf.sprintf "directory detour via %d" r
+  | Toward_pivot w -> Printf.sprintf "toward routing pivot %d" w
+  | Label_hop -> "label hop"
+  | Hop v -> Printf.sprintf "forward to %d" v
+  | Greedy_commit e -> Printf.sprintf "greedy commit toward %d" e
+  | Fallback_descent -> "fallback: descending beacon tree"
+
+type decision =
+  | Forward of int
+  | Rewrite of header * int * action
+  | Deliver
+  | Drop of reason
+
+type step = { at : int; action : action }
+
+type trace = {
+  path : int list;
+  steps : step list;
+  delivered : bool;
+  dropped : reason option;
+  hops : int;
+  rewrites : int;
+  header_bytes_max : int;
+  header_bytes_total : int;
+}
+
+let byte_size ?(name_bytes = 20) g ~at h =
+  let label_bits =
+    let rec go u bits = function
+      | [] -> bits
+      | v :: rest -> go v (bits + Bits.width_for (Graph.degree g u)) rest
+    in
+    go at 0 h.labels
+  in
+  let id_bits = if Graph.n g <= 1 then 1 else Bits.width_for (Graph.n g) in
+  let bits =
+    (8 * name_bytes) + label_bits
+    + (if h.waypoint >= 0 then id_bits else 0)
+    + (if h.anchor >= 0 then id_bits else 0)
+    + (if Float.is_finite h.fbound then 32 else 0)
+    + (if Int64.equal h.vbound Int64.minus_one then 0 else 64)
+    + (8 * h.extra_bytes)
+  in
+  (bits + 7) / 8
+
+(* Loop detection keys on the exact in-flight state: node id plus every
+   header field, rendered into a string (typed, deterministic — no
+   polymorphic hashing of variants). Revisiting a node with a different
+   header is legal; an identical state can never progress under a
+   deterministic forward function. *)
+let phase_key = function
+  | Seek { tried_proxy } -> if tried_proxy then "S1" else "S0"
+  | Steer { tried_proxy } -> if tried_proxy then "T1" else "T0"
+  | Carry -> "C"
+  | Greedy -> "G"
+  | Fallback -> "F"
+
+let state_key at h =
+  Printf.sprintf "%d;%s;%d;%d;%h;%Lx;%d;%s" at (phase_key h.phase) h.waypoint
+    h.anchor h.fbound h.vbound h.extra_bytes
+    (String.concat "," (List.map string_of_int h.labels))
+
+let walk ?ttl ?name_bytes g ~forward ~src header =
+  let n = Graph.n g in
+  let ttl0 = match ttl with Some t -> t | None -> 4 * n in
+  let steps = ref [] and path = ref [ src ] in
+  let rewrites = ref 0 in
+  let bytes_max = ref 0 and bytes_total = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let log at action = steps := { at; action } :: !steps in
+  let account at h =
+    let b = byte_size ?name_bytes g ~at h in
+    if b > !bytes_max then bytes_max := b;
+    bytes_total := !bytes_total + b
+  in
+  let finish ~delivered ~dropped =
+    let p = List.rev !path in
+    {
+      path = p;
+      steps = List.rev !steps;
+      delivered;
+      dropped;
+      hops = List.length p - 1;
+      rewrites = !rewrites;
+      header_bytes_max = !bytes_max;
+      header_bytes_total = !bytes_total;
+    }
+  in
+  let fail u r =
+    log u (Dropped r);
+    finish ~delivered:false ~dropped:(Some r)
+  in
+  let rec go u h ttl =
+    if ttl = 0 then fail u Ttl_expired
+    else begin
+      let key = state_key u h in
+      if Hashtbl.mem seen key then fail u Loop_detected
+      else begin
+        Hashtbl.add seen key ();
+        match forward h ~at:u with
+        | Deliver ->
+            if u = h.dst then begin
+              log u Delivered;
+              finish ~delivered:true ~dropped:None
+            end
+            else fail u (Protocol_error "deliver away from the destination")
+        | Drop r -> fail u r
+        | Forward next ->
+            log u (Hop next);
+            hop u h next ttl
+        | Rewrite (h', next, why) ->
+            log u why;
+            incr rewrites;
+            hop u h' next ttl
+      end
+    end
+  and hop u h next ttl =
+    (* The one mechanical check of "forward consults only local state":
+       whatever the node decided, the packet can only cross a real link. *)
+    match Graph.edge_weight g u next with
+    | None -> fail u (Protocol_error (Printf.sprintf "%d is not a neighbor" next))
+    | Some _ ->
+        account u h;
+        path := next :: !path;
+        go next h (ttl - 1)
+  in
+  (* The source's initial header is on the wire for hop one; account for
+     it even on a source-delivered packet so byte telemetry never reads
+     zero for a walked packet. *)
+  if src = header.dst then begin
+    account src header;
+    match forward header ~at:src with
+    | Deliver ->
+        log src Delivered;
+        finish ~delivered:true ~dropped:None
+    | Drop r -> fail src r
+    | Forward _ | Rewrite _ ->
+        fail src (Protocol_error "forwarding away from the destination")
+  end
+  else go src header ttl0
+
+let pp_trace ppf t =
+  Format.fprintf ppf "@[<v>path: %s%s@,%a@]"
+    (String.concat "-" (List.map string_of_int t.path))
+    (match (t.delivered, t.dropped) with
+    | true, _ -> ""
+    | false, Some r -> Printf.sprintf "  (NOT DELIVERED: %s)" (reason_to_string r)
+    | false, None -> "  (NOT DELIVERED)")
+    (Format.pp_print_list (fun ppf s ->
+         Format.fprintf ppf "  @[at %d: %s@]" s.at (action_to_string s.action)))
+    t.steps

@@ -1,0 +1,127 @@
+(** Scheme-agnostic hop-by-hop data plane.
+
+    Every routing scheme in the repo answers one question per hop: given
+    the packet's header and the state the current node holds, what happens
+    next?  That answer is a {!decision}; this module supplies the shared
+    packet {!header}, the {!walk} loop that executes a forward function
+    hop by hop (TTL bound, loop detection, per-hop header-byte
+    accounting), and the {!trace} every figure and check consumes.
+
+    The walker itself enforces the two mechanical halves of the "local
+    state only" contract: a decision may only move the packet across a
+    real link of the graph ({!Protocol_error} otherwise), and anything the
+    deciding node wants remembered across hops must be written into the
+    header (the walker threads no other state). Scheme-specific forward
+    functions live next to their control planes ({!Forwarding} for Disco,
+    the baselines' [forward] for the rest); the experiment layer's
+    [Walk] module derives the measured routes from these walks, demoting
+    the closed-form path computations to oracles. *)
+
+module Graph = Disco_graph.Graph
+
+(** Why a packet was dropped. *)
+type reason =
+  | Ttl_expired
+  | Loop_detected  (** the exact (node, header) state recurred *)
+  | No_route  (** the node holds no state that makes progress *)
+  | Protocol_error of string
+      (** the forward function broke the data-plane contract, e.g. named a
+          next hop that is not a neighbor of the current node *)
+
+(** What kind of in-flight processing the header is asking for. Each
+    scheme interprets the phases it uses; the walker never inspects them
+    beyond loop-detection equality. *)
+type phase =
+  | Seek of { tried_proxy : bool }
+      (** the packet carries only the destination's flat name (Disco) *)
+  | Steer of { tried_proxy : bool }
+      (** riding a leg toward {!field-waypoint}; when the label list runs
+          out the waypoint node decides what happens next *)
+  | Carry  (** consuming an explicit label route toward the destination *)
+  | Greedy  (** coordinate/ring descent (BVR, VRR) *)
+  | Fallback  (** BVR tree descent after a local minimum *)
+
+type header = {
+  dst : int;  (** destination (its flat name / coordinate stands for it) *)
+  phase : phase;
+  labels : int list;  (** remaining explicit route, next hop first *)
+  waypoint : int;  (** current intermediate target; -1 = none *)
+  anchor : int;  (** scheme anchor (VRR committed endpoint, BVR beacon
+                     tree index); -1 = none *)
+  fbound : float;  (** BVR fallback re-entry bound; [infinity] = none *)
+  vbound : Disco_hash.Hash_space.id;
+      (** VRR monotone virtual-distance bound; [Int64.minus_one] (max
+          unsigned) = no bound yet *)
+  extra_bytes : int;
+      (** fixed scheme payload carried every hop (BVR coordinate, VRR
+          virtual id), counted by {!byte_size} *)
+}
+
+val plain : dst:int -> phase -> header
+(** A header with no labels, waypoint, anchor or bounds. *)
+
+(** One per-hop decision, printable for traces and inspectable by tests
+    and disco-lint (no strings to match on). *)
+type action =
+  | Delivered
+  | Dropped of reason
+  | Direct_route  (** the node's own tables hold a route to the destination *)
+  | Group_store_hit  (** sloppy-group store supplied the address *)
+  | To_group_proxy of int
+  | Resolution_via of int  (** falling back to the resolution DB's owner *)
+  | Shortcut_divert  (** to-destination shortcutting replaced the labels *)
+  | Address_rewrite  (** a directory/landmark wrote the explicit route *)
+  | Directory_detour of int  (** detour via a lookup node (SEATTLE, S4) *)
+  | Toward_pivot of int  (** TZ: steering to the routing pivot *)
+  | Label_hop  (** consumed one explicit-route label *)
+  | Hop of int  (** plain forward, header unchanged *)
+  | Greedy_commit of int  (** committed to a closer anchor (VRR) or
+                              re-entered greedy mode (BVR) *)
+  | Fallback_descent  (** BVR: entered fallback, descending the beacon tree *)
+
+val reason_to_string : reason -> string
+val action_to_string : action -> string
+
+type decision =
+  | Forward of int  (** send to this neighbor, header unchanged *)
+  | Rewrite of header * int * action
+      (** rewrite the header and send to this neighbor; the action says
+          why, for the trace *)
+  | Deliver
+  | Drop of reason
+
+type step = { at : int; action : action }
+
+type trace = {
+  path : int list;  (** nodes traversed, source first *)
+  steps : step list;  (** one per decision, in order *)
+  delivered : bool;
+  dropped : reason option;  (** why the walk ended, when not delivered *)
+  hops : int;  (** [List.length path - 1] *)
+  rewrites : int;  (** header rewrites along the way *)
+  header_bytes_max : int;  (** largest header carried on any hop *)
+  header_bytes_total : int;  (** header bytes summed over every hop taken *)
+}
+
+val byte_size : ?name_bytes:int -> Graph.t -> at:int -> header -> int
+(** Wire size of the header as carried at node [at]: the destination's
+    self-certifying name ([name_bytes], default 20), the packed
+    neighbor-rank label bits of the remaining explicit route (§4.2), one
+    node id each for waypoint and anchor when present, 4 bytes for a
+    finite fallback bound, and the scheme's [extra_bytes]. *)
+
+val walk :
+  ?ttl:int ->
+  ?name_bytes:int ->
+  Graph.t ->
+  forward:(header -> at:int -> decision) ->
+  src:int ->
+  header ->
+  trace
+(** Execute [forward] hop by hop from [src] until it delivers, drops, the
+    TTL (default [4 * n] decisions) expires, or the exact (node, header)
+    state recurs — node revisits alone are legal (a Disco proxy leg may
+    re-cross a node), but revisiting with an identical header can never
+    make progress under a deterministic forward function. *)
+
+val pp_trace : Format.formatter -> trace -> unit

@@ -1,22 +1,7 @@
 module Graph = Disco_graph.Graph
+module D = Dataplane
 
-type step = { at : int; action : string }
-
-type trace = {
-  path : int list;
-  steps : step list;
-  delivered : bool;
-  handshake : int list option;
-}
-
-(* In-flight packet state. [Seek] carries only the destination's flat
-   name (represented by its node id; forwarding code only consults data
-   the current node legitimately stores about that name). [Carry] follows
-   a concrete remaining path. [tried_proxy] stops proxy ping-pong: after
-   one optimistic group-proxy hop the fallback is the resolution DB. *)
-type packet =
-  | Seek of { tried_proxy : bool }
-  | Carry of { rest : int list }
+let ttl_factor = 4
 
 let deliver_check (d : Disco.t) ~src ~dst =
   match Vicinity.path d.Disco.nd.Nddisco.vicinity dst src with
@@ -25,8 +10,7 @@ let deliver_check (d : Disco.t) ~src ~dst =
 
 (* The node's local route to [dst] if it stores one: landmark table or
    vicinity; mirrors Nddisco.knows but is written from the node's view. *)
-let local_route (d : Disco.t) u dst =
-  let nd = d.Disco.nd in
+let local_route (nd : Nddisco.t) u dst =
   if nd.Nddisco.landmarks.Landmarks.is_landmark.(dst) then
     Some (Landmark_trees.path_to nd.Nddisco.trees u ~lm:dst)
   else Vicinity.path nd.Nddisco.vicinity u dst
@@ -34,8 +18,7 @@ let local_route (d : Disco.t) u dst =
 (* Rewrite at a node that holds [dst]'s address: the route to the
    destination's landmark from the node's own landmark table, then the
    explicit label route. *)
-let address_route (d : Disco.t) u dst =
-  let nd = d.Disco.nd in
+let address_route (nd : Nddisco.t) u dst =
   let addr = Nddisco.address nd dst in
   let lm = addr.Address.landmark in
   let label_path =
@@ -45,128 +28,170 @@ let address_route (d : Disco.t) u dst =
   if u = lm then label_path
   else Landmark_trees.path_to nd.Nddisco.trees u ~lm @ List.tl label_path
 
-let run (d : Disco.t) ~src ~dst ~initial =
-  let nd = d.Disco.nd in
-  let n = Graph.n nd.Nddisco.graph in
-  let steps = ref [] and path = ref [ src ] in
-  let log at action = steps := { at; action } :: !steps in
-  let rec go u packet ttl =
-    if ttl = 0 then (false, List.rev !path, List.rev !steps)
-    else if u = dst then begin
-      log u "deliver";
-      (true, List.rev !path, List.rev !steps)
-    end
-    else begin
-      match packet with
-      | Seek { tried_proxy } -> (
-          match local_route d u dst with
-          | Some (_ :: rest) ->
-              log u "direct route in local tables";
-              go u (Carry { rest }) ttl
-          | Some [] | None ->
-              if Groups.same_group d.Disco.groups u dst then begin
-                log u "group store hit: rewriting with destination address";
-                match address_route d u dst with
-                | _ :: rest -> go u (Carry { rest }) ttl
-                | [] -> (false, List.rev !path, List.rev !steps)
-              end
-              else if not tried_proxy then begin
-                match Disco.classify_first d ~src:u ~dst with
-                | Disco.Via_group_member w -> (
-                    log u (Printf.sprintf "forwarding to group proxy %d" w);
-                    match Vicinity.path nd.Nddisco.vicinity u w with
-                    | Some (_ :: rest) ->
-                        carry_seek u rest (Seek { tried_proxy = true }) ttl
-                    | _ -> (false, List.rev !path, List.rev !steps))
-                | _ -> resolution u ttl
-              end
-              else resolution u ttl)
-      | Carry { rest } -> (
-          (* To-destination shortcutting: the first node holding a direct
-             route diverts along it (its route is a shortest path, so the
-             remaining distance strictly decreases; no loops). *)
-          match local_route d u dst with
-          | Some (_ :: direct) when direct <> rest ->
-              log u "to-destination shortcut";
-              forward u direct ttl
-          | _ -> forward u rest ttl)
-    end
-  (* Forward one hop along [rest], staying in Carry. *)
-  and forward u rest ttl =
-    match rest with
-    | [] -> (false, List.rev !path, List.rev !steps)
-    | next :: rest' ->
-        assert (Graph.edge_weight nd.Nddisco.graph u next <> None);
-        path := next :: !path;
-        go next (Carry { rest = rest' }) (ttl - 1)
-  (* Walk a fixed path but resume [resume] at its end (used for the proxy
-     and resolution legs: the packet still only carries the name).
-     To-destination shortcutting applies here too — any node on the way
-     holding a direct route diverts immediately. *)
-  and carry_seek u rest resume ttl =
-    match local_route d u dst with
-    | Some (_ :: direct) ->
-        if rest <> direct then log u "to-destination shortcut";
-        forward u direct ttl
+(* Rewrite [h] into a Carry header following [path] (current node first);
+   the packet is put on the wire toward the path's second node. *)
+let carry_along h path why =
+  match path with
+  | _ :: (next :: rest) ->
+      D.Rewrite
+        ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
+          next,
+          why )
+  | _ -> D.Drop D.No_route
+
+(* The Carry machine, shared by Disco, NDDisco and every label-routing leg:
+   to-destination shortcutting at each hop (the first node holding a direct
+   route diverts along it — its route is a shortest path, so the remaining
+   distance strictly decreases; no loops), else consume one label. *)
+let carry_step (nd : Nddisco.t) (h : D.header) ~at:u =
+  if u = h.D.dst then D.Deliver
+  else
+    match local_route nd u h.D.dst with
+    | Some (_ :: (_ :: _ as direct)) when direct <> h.D.labels ->
+        carry_along h (u :: direct) D.Shortcut_divert
     | _ -> (
-        match rest with
-        | [] -> go u resume ttl
-        | next :: rest' ->
-            assert (Graph.edge_weight nd.Nddisco.graph u next <> None);
-            path := next :: !path;
-            if rest' = [] then go next resume (ttl - 1)
-            else carry_seek next rest' resume (ttl - 1))
-  and resolution u ttl =
-    let owner = Resolution.owner d.Disco.resolution nd.Nddisco.names.(dst) in
-    log u (Printf.sprintf "resolution fallback via landmark %d" owner);
-    if u = owner then begin
-      match address_route d u dst with
-      | _ :: rest -> go u (Carry { rest }) ttl
-      | [] -> (false, List.rev !path, List.rev !steps)
-    end
-    else begin
-      match Landmark_trees.path_to nd.Nddisco.trees u ~lm:owner with
-      | _ :: rest ->
-          (* At the owner, the store supplies the address. *)
-          carry_seek u rest (Seek { tried_proxy = true }) ttl
-      | [] -> (false, List.rev !path, List.rev !steps)
-    end
-  in
-  let delivered, p, s = go src initial (4 * n) in
-  {
-    path = p;
-    steps = s;
-    delivered;
-    handshake = (if delivered then deliver_check d ~src ~dst else None);
-  }
+        match h.D.labels with
+        | next :: rest ->
+            D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+        | [] -> D.Drop D.No_route)
 
-let first_packet d ~src ~dst =
-  if src = dst then
-    { path = [ src ]; steps = [ { at = src; action = "local" } ]; delivered = true;
-      handshake = None }
-  else run d ~src ~dst ~initial:(Seek { tried_proxy = false })
+(* Seek: the packet carries only the flat name; the node classifies it
+   exactly as the control plane's [Disco.classify_first] would from this
+   node's view. One decision per hop: same-node transitions of the old
+   multi-pass machine (Seek -> Carry at the proxy, say) compress into a
+   single Rewrite. *)
+let rec seek_step (d : Disco.t) (h : D.header) ~at:u ~tried_proxy =
+  let nd = d.Disco.nd in
+  let dst = h.D.dst in
+  if u = dst then D.Deliver
+  else
+    match local_route nd u dst with
+    | Some (_ :: _ :: _ as p) -> carry_along h p D.Direct_route
+    | _ ->
+        if Groups.same_group d.Disco.groups u dst then
+          carry_along h (address_route nd u dst) D.Group_store_hit
+        else if not tried_proxy then begin
+          match Disco.classify_first d ~src:u ~dst with
+          | Disco.Via_group_member w -> (
+              match Vicinity.path nd.Nddisco.vicinity u w with
+              | Some (_ :: (next :: rest)) ->
+                  D.Rewrite
+                    ( {
+                        h with
+                        D.phase = D.Steer { tried_proxy = true };
+                        labels = rest;
+                        waypoint = w;
+                      },
+                      next,
+                      D.To_group_proxy w )
+              | Some _ ->
+                  (* The proxy is this node itself; its store came up empty
+                     (same_group above), so fall to resolution. *)
+                  resolution_step d h ~at:u
+              | None -> D.Drop D.No_route)
+          | _ -> resolution_step d h ~at:u
+        end
+        else resolution_step d h ~at:u
 
-let later_packet d ~src ~dst =
-  if src = dst then
-    { path = [ src ]; steps = [ { at = src; action = "local" } ]; delivered = true;
-      handshake = None }
-  else begin
+and resolution_step (d : Disco.t) (h : D.header) ~at:u =
+  let nd = d.Disco.nd in
+  let dst = h.D.dst in
+  let owner = Resolution.owner d.Disco.resolution nd.Nddisco.names.(dst) in
+  if u = owner then
+    carry_along h (address_route nd u dst) (D.Resolution_via owner)
+  else
+    match Landmark_trees.path_to nd.Nddisco.trees u ~lm:owner with
+    | _ :: (next :: rest) ->
+        D.Rewrite
+          ( {
+              h with
+              D.phase = D.Steer { tried_proxy = true };
+              labels = rest;
+              waypoint = owner;
+            },
+            next,
+            D.Resolution_via owner )
+    | _ -> D.Drop D.No_route
+
+(* Steer: riding a leg toward the waypoint while still carrying only the
+   name. Mid-leg nodes holding a direct route divert (becoming an ordinary
+   Carry); at the waypoint (labels exhausted) the packet is re-classified. *)
+let steer_step (d : Disco.t) (h : D.header) ~at:u ~tried_proxy =
+  let nd = d.Disco.nd in
+  if u = h.D.dst then D.Deliver
+  else
+    match h.D.labels with
+    | [] -> seek_step d { h with D.waypoint = -1 } ~at:u ~tried_proxy
+    | next :: rest -> (
+        match local_route nd u h.D.dst with
+        | Some (_ :: _ :: _ as p) -> carry_along h p D.Shortcut_divert
+        | _ -> D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop))
+
+let forward (d : Disco.t) (h : D.header) ~at =
+  match h.D.phase with
+  | D.Seek { tried_proxy } -> seek_step d h ~at ~tried_proxy
+  | D.Steer { tried_proxy } -> steer_step d h ~at ~tried_proxy
+  | D.Carry -> carry_step d.Disco.nd h ~at
+  | D.Greedy | D.Fallback ->
+      D.Drop (D.Protocol_error "disco: foreign header phase")
+
+let first_header (_ : Disco.t) ~src:_ ~dst =
+  D.plain ~dst (D.Seek { tried_proxy = false })
+
+let carry_header ~dst path =
+  match path with
+  | _ :: rest -> { (D.plain ~dst D.Carry) with D.labels = rest }
+  | [] -> D.plain ~dst D.Carry
+
+let later_header (d : Disco.t) ~src ~dst =
+  if src = dst then D.plain ~dst D.Carry
+  else
     (* The source now holds the address (and the handshake path when the
        destination sent one). *)
     match deliver_check d ~src ~dst with
-    | Some exact ->
-        (* src in V(dst): the destination revealed the exact path. *)
-        run d ~src ~dst ~initial:(Carry { rest = List.tl exact })
+    | Some exact -> carry_header ~dst exact
     | None -> (
-        match address_route d src dst with
-        | _ :: rest -> run d ~src ~dst ~initial:(Carry { rest })
-        | [] -> first_packet d ~src ~dst)
-  end
+        match address_route d.Disco.nd src dst with
+        | _ :: _ as p -> carry_header ~dst p
+        | [] -> first_header d ~src ~dst)
+
+type trace = { walk : D.trace; handshake : int list option }
+
+let run_walk (d : Disco.t) ~src header =
+  let g = d.Disco.nd.Nddisco.graph in
+  let w =
+    D.walk ~ttl:(ttl_factor * Graph.n g) g ~forward:(forward d) ~src header
+  in
+  {
+    walk = w;
+    handshake =
+      (if w.D.delivered then deliver_check d ~src ~dst:header.D.dst else None);
+  }
+
+let first_packet d ~src ~dst = run_walk d ~src (first_header d ~src ~dst)
+let later_packet d ~src ~dst = run_walk d ~src (later_header d ~src ~dst)
 
 let pp_trace ppf t =
-  Format.fprintf ppf "@[<v>path: %s%s@,%a@]"
-    (String.concat "-" (List.map string_of_int t.path))
-    (if t.delivered then "" else "  (NOT DELIVERED)")
-    (Format.pp_print_list (fun ppf s ->
-         Format.fprintf ppf "  @[at %d: %s@]" s.at s.action))
-    t.steps
+  D.pp_trace ppf t.walk;
+  match t.handshake with
+  | Some p ->
+      Format.fprintf ppf "@,handshake: %s"
+        (String.concat "-" (List.map string_of_int p))
+  | None -> ()
+
+(* NDDisco's data plane: the pure Carry machine — the source already holds
+   the destination's address, so first packets follow the raw route with
+   per-hop to-destination shortcutting. *)
+let forward_nd (nd : Nddisco.t) (h : D.header) ~at =
+  match h.D.phase with
+  | D.Carry -> carry_step nd h ~at
+  | D.Seek _ | D.Steer _ | D.Greedy | D.Fallback ->
+      D.Drop (D.Protocol_error "nddisco: foreign header phase")
+
+let first_header_nd (nd : Nddisco.t) ~src ~dst =
+  carry_header ~dst (Nddisco.raw_route nd ~src ~dst)
+
+let later_header_nd (nd : Nddisco.t) ~src ~dst =
+  match Vicinity.path nd.Nddisco.vicinity dst src with
+  | Some p when src <> dst -> carry_header ~dst (List.rev p)
+  | _ -> first_header_nd nd ~src ~dst

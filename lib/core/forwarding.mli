@@ -1,45 +1,56 @@
-(** Data-plane packet forwarding.
+(** Disco's data plane: the per-hop forward functions for Disco and
+    NDDisco, expressed as {!Dataplane.decision}s.
 
     {!Disco.route_first}/{!Disco.route_later} compute routes from the
     static simulator's global view; this module {e executes} a packet hop
     by hop using only state the forwarding node actually holds — its
     vicinity table, its landmark routes, its sloppy-group address store —
-    exactly as a router would. The two must agree (tested), which is the
-    strongest internal check that the protocol is genuinely distributed:
-    no step consults information the current node wouldn't have.
+    exactly as a router would. The walk and the oracle must agree on
+    delivery and on path length (tested, and enforced by disco-check's
+    walk≡oracle differential), which is the strongest internal check that
+    the protocol is genuinely distributed: no step consults information
+    the current node wouldn't have.
 
     A first packet toward a flat name goes through phases:
 
-    + at the source: classify — deliver locally, source-route if the
-      address is known, else head for the best group proxy in the
-      vicinity;
+    + at the source ({!Dataplane.Seek}): classify — deliver locally,
+      source-route if the address is known, else head for the best group
+      proxy in the vicinity;
     + at the proxy: look the name up in the group store and rewrite the
-      packet with the destination's address;
-    + toward the landmark: follow the path-vector route to [l_t];
+      packet with the destination's address ({!Dataplane.Carry});
+    + toward the landmark ({!Dataplane.Steer}): follow the path-vector
+      route to [l_t];
     + from the landmark: consume the address's forwarding labels bit by
       bit (the explicit route);
     + any node on the way that knows a direct route to the destination
       diverts ("to-destination" shortcutting), and the destination answers
       with the exact path when the source is in {e its} vicinity (the
       handshake), which is where later packets' stretch-3 routes come
-      from.
-
-    The trace records every decision for debugging and for the
-    [disco-sim trace] CLI. *)
-
-type step = {
-  at : int;  (** node making the decision *)
-  action : string;  (** human-readable decision, e.g. "rewrite: ..." *)
-}
+      from. *)
 
 type trace = {
-  path : int list;  (** nodes traversed, source first *)
-  steps : step list;  (** decisions, in order *)
-  delivered : bool;
+  walk : Dataplane.trace;  (** the executed walk, typed steps included *)
   handshake : int list option;
       (** the exact path the destination reveals if the source is in its
           vicinity (None otherwise) *)
 }
+
+val ttl_factor : int
+(** TTL budget as a multiple of [n] (Disco uses [4 * n] decisions). *)
+
+val forward : Disco.t -> Dataplane.header -> at:int -> Dataplane.decision
+(** One Disco forwarding decision at node [at], consulting only that
+    node's vicinity, landmark, group-store and resolution state. *)
+
+val first_header : Disco.t -> src:int -> dst:int -> Dataplane.header
+(** The header a source emits for a first packet: just the flat name
+    ({!Dataplane.Seek}). *)
+
+val later_header : Disco.t -> src:int -> dst:int -> Dataplane.header
+(** The header once the source holds the destination's address (and the
+    handshake path when the destination sent one): an explicit
+    {!Dataplane.Carry} route, falling back to a first-packet header when
+    the source holds nothing. *)
 
 val first_packet : Disco.t -> src:int -> dst:int -> trace
 (** Execute a first packet addressed to [dst]'s flat name. *)
@@ -49,3 +60,14 @@ val later_packet : Disco.t -> src:int -> dst:int -> trace
     the handshake reply, if one was sent). *)
 
 val pp_trace : Format.formatter -> trace -> unit
+
+(** {2 NDDisco}
+
+    NDDisco's contract assumes the source already holds the destination's
+    address, so its data plane is the pure label-route machine: an
+    explicit {!Dataplane.Carry} header from the source, with
+    to-destination shortcutting at every hop. *)
+
+val forward_nd : Nddisco.t -> Dataplane.header -> at:int -> Dataplane.decision
+val first_header_nd : Nddisco.t -> src:int -> dst:int -> Dataplane.header
+val later_header_nd : Nddisco.t -> src:int -> dst:int -> Dataplane.header

@@ -37,6 +37,27 @@ let jobs_term =
     const Disco_util.Pool.resolve_jobs
     $ Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc))
 
+let scheme_conv ~extra : string Arg.conv =
+  let parse s =
+    let names = Routers.names () @ extra in
+    if List.mem s names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scheme %S (expected one of: %s)" s
+             (String.concat ", " names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let scheme_term ?(extra = []) ~default () =
+  let doc =
+    "Routing scheme: " ^ String.concat ", " (Routers.names () @ extra) ^ "."
+  in
+  Arg.(
+    value
+    & opt (scheme_conv ~extra) default
+    & info [ "scheme"; "protocol"; "p" ] ~docv:"SCHEME" ~doc)
+
 let figure_conv ~extra : string Arg.conv =
   let ids = Figures.all_ids @ extra in
   let parse s =

@@ -16,6 +16,12 @@ val jobs_term : int Cmdliner.Term.t
     [Disco_util.Pool.default_jobs ()]. The value that reaches the program
     is already resolved to [>= 1]. *)
 
+val scheme_term : ?extra:string list -> default:string -> unit -> string Cmdliner.Term.t
+(** [--scheme]/[--protocol]/[-p], validated against the router registry
+    ({!Routers.names}) plus [extra] values the caller handles itself
+    (e.g. ["all"]). disco-sim and disco-check accept the same scheme
+    names through this one term. *)
+
 val figure_term : ?extra:string list -> default:string -> unit -> string Cmdliner.Term.t
 (** [--figure]/[-f]/[--id], validated against {!Figures.all_ids} plus
     [extra] ids the caller handles itself (e.g. ["all"], ["micro"]). *)

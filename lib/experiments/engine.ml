@@ -138,9 +138,13 @@ type built = {
   b_build_s : float;
 }
 
+(* Measurements execute the scheme's data plane: every sampled pair is a
+   packet walked hop by hop by the shared walker (Walk over R.forward),
+   not a closed-form oracle route. *)
 let instantiate (module R : Protocol.ROUTER) tb =
   let t0 = now () in
   let r = R.build tb in
+  let graph = tb.Testbed.graph in
   {
     b_name = R.name;
     b_flat = R.flat_names;
@@ -149,8 +153,10 @@ let instantiate (module R : Protocol.ROUTER) tb =
       (fun () ->
         let h = R.fork r in
         {
-          q_first = (fun ~tel ~src ~dst -> R.route_first h ~tel ~src ~dst);
-          q_later = (fun ~tel ~src ~dst -> R.route_later h ~tel ~src ~dst);
+          q_first =
+            (fun ~tel ~src ~dst -> Walk.first (module R) h ~tel ~graph ~src ~dst);
+          q_later =
+            (fun ~tel ~src ~dst -> Walk.later (module R) h ~tel ~graph ~src ~dst);
         });
     b_build_s = now () -. t0;
   }

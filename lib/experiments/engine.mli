@@ -130,7 +130,7 @@ type sampled = {
   flat_names : string;
   first : float array;  (** first-packet stretch samples *)
   later : float array;
-  first_failures : int;  (** route_first returned None *)
+  first_failures : int;  (** first-packet walks that were not delivered *)
   later_failures : int;
   state : float array;  (** per-node state entries *)
   tel : Disco_util.Telemetry.snapshot;

@@ -66,4 +66,50 @@ let header (cfg : Engine.config) =
       [ Core.Shortcut.No_path_knowledge; Core.Shortcut.Path_knowledge ]
   in
   Report.table ~header:[ "heuristic"; "header-bytes mean"; "p95"; "max" ] rows;
-  Report.kv "note" "20B self-certifying name included in every header"
+  Report.kv "note" "20B self-certifying name included in every header";
+  (* Walked header cost across every registered scheme: the shared walker
+     accounts the header as carried at each sending node, so these are
+     data-plane measurements, not static address sizes. A smaller testbed
+     keeps the expensive control planes (VRR's ring setup) affordable. *)
+  let wn = 1024 in
+  let wtb = Testbed.make ~seed Gen.Router_level ~n:wn in
+  let graph = wtb.Testbed.graph in
+  let wrng = Testbed.rng wtb ~purpose:61 in
+  let tel = cfg.Engine.tel in
+  let scheme_rows =
+    List.map
+      (fun packed ->
+        let module R = (val packed : Protocol.ROUTER) in
+        let module D = Core.Dataplane in
+        let rt = R.build wtb in
+        let maxes = ref [] and per_hop = ref [] in
+        for _ = 1 to 300 do
+          let s = Rng.int wrng wn and t = Rng.int wrng wn in
+          if s <> t then begin
+            let tr = Walk.first_trace (module R) rt ~tel ~graph ~src:s ~dst:t in
+            if tr.D.hops > 0 then begin
+              maxes := float_of_int tr.D.header_bytes_max :: !maxes;
+              per_hop :=
+                (float_of_int tr.D.header_bytes_total /. float_of_int tr.D.hops)
+                :: !per_hop
+            end
+          end
+        done;
+        let sm = Stats.summarize (Array.of_list !maxes) in
+        let sh = Stats.summarize (Array.of_list !per_hop) in
+        [
+          R.name;
+          Printf.sprintf "%.1f" sh.Stats.mean;
+          Printf.sprintf "%.1f" sm.Stats.mean;
+          Printf.sprintf "%.0f" sm.Stats.max;
+        ])
+      (Routers.all ())
+  in
+  Report.section
+    (Printf.sprintf
+       "header (walked): per-scheme header bytes on walked first packets; \
+        router-level n=%d" wn);
+  Report.table
+    ~header:[ "scheme"; "per-hop mean"; "per-packet max mean"; "max" ]
+    scheme_rows;
+  Report.kv "packets walked" (string_of_int tel.Disco_util.Telemetry.packets_walked)

@@ -12,7 +12,7 @@ let fig10 (cfg : Engine.config) =
   Report.section
     (Printf.sprintf "fig10: congestion on AS-level topology; n=%d" n);
   let tb = Testbed.make ~seed Gen.As_level ~n in
-  let c = Metrics.congestion tb in
+  let c = Metrics.congestion ~tel:cfg.Engine.tel tb in
   Report.summary_line ~label:"disco" c.Metrics.c_disco;
   Report.summary_line ~label:"s4" c.Metrics.c_s4;
   Report.summary_line ~label:"pathvector" c.Metrics.c_pathvector;
@@ -47,7 +47,20 @@ let fate (cfg : Engine.config) =
        "fate: flows disrupted by one random remote node failure; geometric n=%d" n);
   let tb = Testbed.make ~seed Gen.Geometric ~n in
   let rng = Testbed.rng tb ~purpose:31 in
-  let ws = Disco_graph.Dijkstra.make_workspace tb.Testbed.graph in
+  let graph = tb.Testbed.graph in
+  let ws = Disco_graph.Dijkstra.make_workspace graph in
+  let tel = cfg.Engine.tel in
+  (* The disrupted flows are walked first packets, not oracle routes: a
+     node is "on the flow" iff the data plane actually carries the packet
+     through it. *)
+  let first packed =
+    let module R = (val packed : Protocol.ROUTER) in
+    let rt = R.build tb in
+    fun ~src ~dst ->
+      (Walk.first_trace (module R) rt ~tel ~graph ~src ~dst).Disco_core.Dataplane.path
+  in
+  let disco_first = first (Routers.find_exn "disco") in
+  let s4_first = first (Routers.find_exn "s4") in
   let trials = 1500 in
   let disrupted_disco = ref 0
   and disrupted_s4 = ref 0
@@ -58,7 +71,7 @@ let fate (cfg : Engine.config) =
     let s = Rng.int rng n and t = Rng.int rng n and dead = Rng.int rng n in
     if s <> t && dead <> s && dead <> t then begin
       incr total;
-      let sp = Disco_graph.Dijkstra.sssp ~ws tb.Testbed.graph s in
+      let sp = Disco_graph.Dijkstra.sssp ~ws graph s in
       let shortest =
         Disco_graph.Dijkstra.path_of_parents
           ~parent:(fun u -> sp.Disco_graph.Dijkstra.parent.(u))
@@ -71,10 +84,8 @@ let fate (cfg : Engine.config) =
         incr on_path
       end
       else begin
-        if uses (Core.Disco.route_first tb.Testbed.disco ~src:s ~dst:t) then
-          incr disrupted_disco;
-        if uses (Disco_baselines.S4.route_first tb.Testbed.s4 ~src:s ~dst:t) then
-          incr disrupted_s4;
+        if uses (disco_first ~src:s ~dst:t) then incr disrupted_disco;
+        if uses (s4_first ~src:s ~dst:t) then incr disrupted_s4;
         if uses shortest then incr disrupted_sp
       end
     end

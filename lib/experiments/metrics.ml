@@ -118,8 +118,10 @@ type congestion_result = {
 }
 
 (* Congestion is not a sampled-pairs measurement: every node sources
-   exactly one flow, so it keeps its own (single) loop. *)
-let congestion ?(with_vrr = false) (tb : Testbed.t) =
+   exactly one flow, so it keeps its own (single) loop. The flows are the
+   paths packets actually take — each scheme's data plane walked hop by
+   hop — not the closed-form oracle routes. *)
+let congestion ?(with_vrr = false) ?tel (tb : Testbed.t) =
   let n = Graph.n tb.graph in
   let m = Graph.m tb.graph in
   let rng = Testbed.rng tb ~purpose:13 in
@@ -155,24 +157,32 @@ let congestion ?(with_vrr = false) (tb : Testbed.t) =
   let s4_counts = Array.make m 0.0 in
   let pv_counts = Array.make m 0.0 in
   let vrr_counts = Array.make m 0.0 in
-  let vrr = if with_vrr then Some (Testbed.vrr tb) else None in
-  let ws = Dijkstra.make_workspace tb.graph in
+  let tel =
+    match tel with Some t -> t | None -> Disco_util.Telemetry.create ()
+  in
+  let later packed =
+    let module R = (val packed : Protocol.ROUTER) in
+    let rt = R.build tb in
+    fun ~src ~dst -> Walk.later (module R) rt ~tel ~graph:tb.graph ~src ~dst
+  in
+  let disco_later = later (Routers.find_exn "disco") in
+  let s4_later = later (Routers.find_exn "s4") in
+  let pv_later = later (Routers.find_exn "pathvector") in
+  let vrr_later =
+    if with_vrr then Some (later (Routers.find_exn "vrr")) else None
+  in
+  let walk_into counts route ~src ~dst =
+    match route ~src ~dst with Some path -> use counts path | None -> ()
+  in
   for s = 0 to n - 1 do
     let t = Rng.int rng n in
     if t <> s then begin
-      use disco_counts (Core.Disco.route_later tb.disco ~src:s ~dst:t);
-      use s4_counts (S4.route_later tb.s4 ~src:s ~dst:t);
-      let sp = Dijkstra.sssp ~ws tb.graph s in
-      use pv_counts
-        (Dijkstra.path_of_parents
-           ~parent:(fun u -> sp.Dijkstra.parent.(u))
-           ~src:s ~dst:t);
-      match vrr with
+      walk_into disco_counts disco_later ~src:s ~dst:t;
+      walk_into s4_counts s4_later ~src:s ~dst:t;
+      walk_into pv_counts pv_later ~src:s ~dst:t;
+      match vrr_later with
       | None -> ()
-      | Some v -> (
-          match Vrr.route v ~src:s ~dst:t with
-          | Some path -> use vrr_counts path
-          | None -> ())
+      | Some route -> walk_into vrr_counts route ~src:s ~dst:t
     end
   done;
   {

@@ -56,9 +56,12 @@ type congestion_result = {
   c_vrr : float array option;
 }
 
-val congestion : ?with_vrr:bool -> Testbed.t -> congestion_result
-(** One flow per node to a uniform-random destination, later-packet
-    routes. *)
+val congestion :
+  ?with_vrr:bool -> ?tel:Disco_util.Telemetry.t -> Testbed.t ->
+  congestion_result
+(** One flow per node to a uniform-random destination, each walked
+    through the scheme's data plane with its later-packet header.
+    [tel] (fresh by default) accumulates the walker counters. *)
 
 val path_stretch :
   Disco_graph.Graph.t -> dist:float -> int list -> float

@@ -1,4 +1,5 @@
 module Telemetry = Disco_util.Telemetry
+module Dataplane = Disco_core.Dataplane
 
 module type ROUTER = sig
   type t
@@ -6,8 +7,22 @@ module type ROUTER = sig
   val name : string
   val flat_names : string
   val build : Testbed.t -> t
-  val route_first : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
-  val route_later : t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
+  val ttl_factor : int
+
+  val first_header :
+    t -> tel:Telemetry.t -> src:int -> dst:int -> Dataplane.header
+
+  val later_header :
+    t -> tel:Telemetry.t -> src:int -> dst:int -> Dataplane.header
+
+  val forward : t -> Dataplane.header -> at:int -> Dataplane.decision
+
+  val oracle_first :
+    t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
+
+  val oracle_later :
+    t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
+
   val state_entries : t -> int -> int
   val fork : t -> t
 end

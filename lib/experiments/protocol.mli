@@ -8,6 +8,16 @@
     engine ({!module:Engine}), the figures, the bench harness and
     [disco-sim] all select schemes by registry name.
 
+    A scheme exposes two faces of the same protocol:
+
+    - a {e data plane} — a per-hop {!val:ROUTER.forward} function plus the
+      headers sources emit. The shared walker ({!module:Walk}) executes it
+      hop by hop; this is what the engine and every figure measure.
+    - two {e oracles} — {!val:ROUTER.oracle_first}/{!val:ROUTER.oracle_later},
+      the closed-form route computations from the simulator's global view.
+      They exist to check the data plane (disco-check's walk ≡ oracle
+      differential), not to produce results.
+
     Adding a scheme is a one-registration change:
     + implement [ROUTER] (usually a thin adapter over an existing module),
     + [Protocol.register (module My_router)] in {!module:Routers},
@@ -29,35 +39,62 @@ module type ROUTER = sig
       testbed's shared instances (same landmark draw across schemes) and
       its derived RNG streams, so builds are deterministic per seed. *)
 
-  val route_first :
-    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int -> int list option
-  (** First packet of a flow toward a flat name: whatever lookup the
-      scheme needs is included in the path. [None] means the scheme failed
-      to deliver (e.g. BVR stuck in a local minimum — the engine counts it
-      via [tel]). Adapters record scheme-internal events (resolution
-      fallbacks) on [tel]. *)
+  val ttl_factor : int
+  (** Data-plane TTL budget as a multiple of [n] — a generous multiple of
+      the worst-case route length (4 for most schemes; 8 for VRR, whose
+      corridors wander). The walker drops the packet when it is spent. *)
 
-  val route_later :
+  val first_header :
+    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int ->
+    Disco_core.Dataplane.header
+  (** The header the source emits for the first packet of a flow toward a
+      flat name, built from source-local state (plus the hash of the name;
+      lookup detours are encoded in the header's phase/waypoint, not
+      precomputed paths the source couldn't know). *)
+
+  val later_header :
+    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int ->
+    Disco_core.Dataplane.header
+  (** The header once the source caches whatever the first exchange taught
+      it (address, handshake path, location). Schemes without a handshake
+      emit the same header as {!first_header}. *)
+
+  val forward :
+    t -> Disco_core.Dataplane.header -> at:int -> Disco_core.Dataplane.decision
+  (** One forwarding decision at node [at], consulting only state that
+      node holds (plus the header). Pure: all in-flight protocol state
+      lives in the header, so the walker — and disco-check — can replay
+      and diff decisions freely. *)
+
+  val oracle_first :
     t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int -> int list option
-  (** Packets after the handshake, when the source caches whatever the
-      first exchange taught it. Schemes without a handshake return the
-      same route as {!route_first}. *)
+  (** The closed-form first-packet route from the global view. [None]
+      means the scheme cannot deliver (e.g. BVR stuck in a local minimum).
+      Must agree with walking {!forward} from {!first_header} on delivery
+      and weighted length (node sequences may differ only for schemes
+      whose shortcutting can divert at several equivalent points). *)
+
+  val oracle_later :
+    t -> tel:Disco_util.Telemetry.t -> src:int -> dst:int -> int list option
+  (** Same contract versus {!later_header} walks. *)
 
   val state_entries : t -> int -> int
   (** Data-plane routing-table entries at one node, per the paper's
       accounting (§5.2). Never negative. *)
 
   val fork : t -> t
-  (** A query handle that can route concurrently with the original from
-      another domain: shared converged state is immutable and may alias,
-      but any query-time mutable scratch must either be private to the
-      returned handle (the path-vector oracle forks its SSSP memo and
-      workspace) or live behind {!Disco_util.Pool.Memo} (the demand-filled
-      landmark/vicinity/ball/tree caches in Disco, NDDisco, S4 and Seattle, whose
-      cross-pair amortization is the point of sharing). With that, fork is
-      the identity for every adapter except path-vector. Forked handles
-      feed the parallel engine ({!Engine.run}); [state_entries] is only
-      called on the original. *)
+  (** A query handle that can route and forward concurrently with the
+      original from another domain: shared converged state is immutable
+      and may alias, but any query-time mutable scratch must either be
+      private to the returned handle (the path-vector oracle forks its
+      SSSP memo and workspace) or live behind {!Disco_util.Pool.Memo} (the
+      demand-filled landmark/vicinity/ball/tree caches in Disco, NDDisco,
+      S4, Seattle and TZ, whose cross-pair amortization is the point of
+      sharing). Fork is therefore the identity for every adapter except
+      path-vector — walker state (per-packet headers, traces, byte
+      accounting) is local to each {!Walk} call, never stored on [t].
+      Forked handles feed the parallel engine ({!Engine.run});
+      [state_entries] is only called on the original. *)
 end
 
 type packed = (module ROUTER)

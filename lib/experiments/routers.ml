@@ -2,11 +2,18 @@ module Core = Disco_core
 module Graph = Disco_graph.Graph
 module Dijkstra = Disco_graph.Dijkstra
 module Telemetry = Disco_util.Telemetry
+module D = Core.Dataplane
 
 (* RNG purposes for adapters that draw their own randomness; disjoint from
    the figure runners' purposes (which start at 100 via Testbed.rng). *)
 let bvr_purpose = 41
 let tz_purpose = 43
+
+(* Every oracle below uses the forward-only [To_destination] shortcut
+   heuristic where one applies: the data plane diverts from knowledge at
+   the node actually holding the packet, so only forward-direction
+   shortcuts are comparable hop for hop (the paper's stretch bounds hold a
+   fortiori — To_destination never lengthens the raw route). *)
 
 module Disco_router = struct
   type t = Core.Disco.t
@@ -14,15 +21,21 @@ module Disco_router = struct
   let name = "disco"
   let flat_names = "yes, stretch-bounded"
   let build (tb : Testbed.t) = tb.Testbed.disco
+  let ttl_factor = Core.Forwarding.ttl_factor
 
-  let route_first t ~tel ~src ~dst =
-    let path, case = Core.Disco.route_first_case t ~src ~dst in
-    (match case with
-    | Core.Disco.Resolution_fallback -> Telemetry.resolution_fallback tel
-    | _ -> ());
-    Some path
+  let first_header t ~tel:_ ~src ~dst = Core.Forwarding.first_header t ~src ~dst
+  let later_header t ~tel:_ ~src ~dst = Core.Forwarding.later_header t ~src ~dst
+  let forward = Core.Forwarding.forward
 
-  let route_later t ~tel:_ ~src ~dst = Some (Core.Disco.route_later t ~src ~dst)
+  let oracle_first t ~tel:_ ~src ~dst =
+    Some
+      (Core.Disco.route_first ~heuristic:Core.Shortcut.To_destination t ~src
+         ~dst)
+
+  let oracle_later t ~tel:_ ~src ~dst =
+    Some
+      (Core.Disco.route_later ~heuristic:Core.Shortcut.To_destination t ~src
+         ~dst)
 
   let state_entries t v =
     Core.Disco.total_entries (Core.Disco.state_entries t v)
@@ -42,11 +55,25 @@ module Nddisco_router = struct
   let build (tb : Testbed.t) =
     { nd = Testbed.nd tb; resolution = tb.Testbed.disco.Core.Disco.resolution }
 
-  let route_first t ~tel:_ ~src ~dst =
-    Some (Core.Nddisco.route_first t.nd ~src ~dst)
+  let ttl_factor = Core.Forwarding.ttl_factor
 
-  let route_later t ~tel:_ ~src ~dst =
-    Some (Core.Nddisco.route_later t.nd ~src ~dst)
+  let first_header t ~tel:_ ~src ~dst =
+    Core.Forwarding.first_header_nd t.nd ~src ~dst
+
+  let later_header t ~tel:_ ~src ~dst =
+    Core.Forwarding.later_header_nd t.nd ~src ~dst
+
+  let forward t h ~at = Core.Forwarding.forward_nd t.nd h ~at
+
+  let oracle_first t ~tel:_ ~src ~dst =
+    Some
+      (Core.Nddisco.route_first ~heuristic:Core.Shortcut.To_destination t.nd
+         ~src ~dst)
+
+  let oracle_later t ~tel:_ ~src ~dst =
+    Some
+      (Core.Nddisco.route_later ~heuristic:Core.Shortcut.To_destination t.nd
+         ~src ~dst)
 
   let state_entries t v =
     let resolution_entries = Core.Resolution.entries_at t.resolution v in
@@ -76,8 +103,12 @@ module S4_router = struct
       resolution_loads = S4.resolution_loads s4;
     }
 
-  let route_first t ~tel:_ ~src ~dst = Some (S4.route_first t.s4 ~src ~dst)
-  let route_later t ~tel:_ ~src ~dst = Some (S4.route_later t.s4 ~src ~dst)
+  let ttl_factor = S4.ttl_factor
+  let first_header t ~tel:_ ~src ~dst = S4.first_header t.s4 ~src ~dst
+  let later_header t ~tel:_ ~src ~dst = S4.later_header t.s4 ~src ~dst
+  let forward t h ~at = S4.forward t.s4 h ~at
+  let oracle_first t ~tel:_ ~src ~dst = Some (S4.route_first t.s4 ~src ~dst)
+  let oracle_later t ~tel:_ ~src ~dst = Some (S4.route_later t.s4 ~src ~dst)
 
   let state_entries t v =
     S4.state_entries t.s4 ~cluster_sizes:t.cluster_sizes
@@ -98,10 +129,15 @@ module Vrr_router = struct
     let vrr = Testbed.vrr tb in
     { vrr; state = Vrr.state_entries vrr }
 
+  let ttl_factor = Vrr.ttl_factor
+
   (* VRR has no first/later distinction: every packet forwards greedily on
      the virtual ring. *)
-  let route_first t ~tel:_ ~src ~dst = Vrr.route t.vrr ~src ~dst
-  let route_later = route_first
+  let first_header t ~tel:_ ~src ~dst = Vrr.packet_header t.vrr ~src ~dst
+  let later_header = first_header
+  let forward t h ~at = Vrr.forward t.vrr h ~at
+  let oracle_first t ~tel:_ ~src ~dst = Vrr.route t.vrr ~src ~dst
+  let oracle_later = oracle_first
   let state_entries t v = t.state.(v)
   let fork t = t
 end
@@ -117,10 +153,15 @@ module Bvr_router = struct
   let build (tb : Testbed.t) =
     Bvr.build ~rng:(Testbed.rng tb ~purpose:bvr_purpose) tb.Testbed.graph
 
+  let ttl_factor = Bvr.ttl_factor
+
   (* BVR packets always carry the destination's coordinate (looked up at
      the beacons); greedy forwarding does not change after a handshake. *)
-  let route_first t ~tel:_ ~src ~dst = Bvr.route t ~src ~dst
-  let route_later = route_first
+  let first_header t ~tel:_ ~src ~dst = Bvr.packet_header t ~src ~dst
+  let later_header = first_header
+  let forward = Bvr.forward
+  let oracle_first t ~tel:_ ~src ~dst = Bvr.route t ~src ~dst
+  let oracle_later = oracle_first
   let state_entries t v = Bvr.state_entries t v
   let fork t = t
 end
@@ -136,8 +177,12 @@ module Seattle_router = struct
   let build (tb : Testbed.t) =
     Seattle.build tb.Testbed.graph ~names:(Testbed.nd tb).Core.Nddisco.names
 
-  let route_first t ~tel:_ ~src ~dst = Some (Seattle.route_first t ~src ~dst)
-  let route_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
+  let ttl_factor = Seattle.ttl_factor
+  let first_header t ~tel:_ ~src ~dst = Seattle.first_header t ~src ~dst
+  let later_header t ~tel:_ ~src ~dst = Seattle.later_header t ~src ~dst
+  let forward = Seattle.forward
+  let oracle_first t ~tel:_ ~src ~dst = Some (Seattle.route_first t ~src ~dst)
+  let oracle_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
   let state_entries t v = Seattle.state_entries t v
   let fork t = t
 end
@@ -153,8 +198,12 @@ module Tz_router = struct
   let build (tb : Testbed.t) =
     Tz.build ~rng:(Testbed.rng tb ~purpose:tz_purpose) ~k:2 tb.Testbed.graph
 
-  let route_first t ~tel:_ ~src ~dst = Tz.route t ~src ~dst
-  let route_later = route_first
+  let ttl_factor = Tz.ttl_factor
+  let first_header t ~tel:_ ~src ~dst = Tz.packet_header t ~src ~dst
+  let later_header = first_header
+  let forward = Tz.forward
+  let oracle_first t ~tel:_ ~src ~dst = Tz.route t ~src ~dst
+  let oracle_later = oracle_first
   let state_entries t v = Tz.state t v
   let fork t = t
 end
@@ -191,7 +240,37 @@ module Pathvector_router = struct
         t.sp <- Some sp;
         sp
 
-  let route_first t ~tel ~src ~dst =
+  let ttl_factor = 4
+
+  (* The source's FIB supplies the whole explicit route; the data plane is
+     pure label consumption. An unreachable destination leaves the label
+     list empty and the walker drops at the source, matching the oracle's
+     [None]. *)
+  let first_header t ~tel ~src ~dst =
+    let sp = sssp t ~tel src in
+    if src = dst || sp.Dijkstra.dist.(dst) = infinity then D.plain ~dst D.Carry
+    else
+      match
+        Dijkstra.path_of_parents
+          ~parent:(fun u -> sp.Dijkstra.parent.(u))
+          ~src ~dst
+      with
+      | _ :: rest -> { (D.plain ~dst D.Carry) with D.labels = rest }
+      | [] -> D.plain ~dst D.Carry
+
+  let later_header = first_header
+
+  let forward _t (h : D.header) ~at:u =
+    if u = h.D.dst then D.Deliver
+    else
+      match (h.D.phase, h.D.labels) with
+      | D.Carry, next :: rest ->
+          D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+      | D.Carry, [] -> D.Drop D.No_route
+      | (D.Seek _ | D.Steer _ | D.Greedy | D.Fallback), _ ->
+          D.Drop (D.Protocol_error "pathvector: foreign header phase")
+
+  let oracle_first t ~tel ~src ~dst =
     let sp = sssp t ~tel src in
     if sp.Dijkstra.dist.(dst) = infinity then None
     else
@@ -200,7 +279,7 @@ module Pathvector_router = struct
            ~parent:(fun u -> sp.Dijkstra.parent.(u))
            ~src ~dst)
 
-  let route_later = route_first
+  let oracle_later = oracle_first
   let state_entries t _ = Graph.n t.graph - 1
 
   (* The SSSP memo and the Dijkstra workspace are query-time mutable state:

@@ -1,0 +1,42 @@
+module Telemetry = Disco_util.Telemetry
+module Dataplane = Disco_core.Dataplane
+module Graph = Disco_graph.Graph
+
+let fell_back (tr : Dataplane.trace) =
+  List.exists
+    (fun (s : Dataplane.step) ->
+      match s.Dataplane.action with
+      | Dataplane.Resolution_via _ -> true
+      | _ -> false)
+    tr.Dataplane.steps
+
+let record tel (tr : Dataplane.trace) =
+  Telemetry.packet_walked tel ~delivered:tr.Dataplane.delivered
+    ~hops:tr.Dataplane.hops ~rewrites:tr.Dataplane.rewrites
+    ~header_bytes:tr.Dataplane.header_bytes_total;
+  if fell_back tr then Telemetry.resolution_fallback tel;
+  tr
+
+let walk (type a) (module R : Protocol.ROUTER with type t = a) (rt : a) ~tel
+    ~graph ~src header =
+  record tel
+    (Dataplane.walk
+       ~ttl:(R.ttl_factor * Graph.n graph)
+       graph ~forward:(R.forward rt) ~src header)
+
+let first_trace (type a) (module R : Protocol.ROUTER with type t = a) (rt : a)
+    ~tel ~graph ~src ~dst =
+  walk (module R) rt ~tel ~graph ~src (R.first_header rt ~tel ~src ~dst)
+
+let later_trace (type a) (module R : Protocol.ROUTER with type t = a) (rt : a)
+    ~tel ~graph ~src ~dst =
+  walk (module R) rt ~tel ~graph ~src (R.later_header rt ~tel ~src ~dst)
+
+let path_of (tr : Dataplane.trace) =
+  if tr.Dataplane.delivered then Some tr.Dataplane.path else None
+
+let first m rt ~tel ~graph ~src ~dst =
+  path_of (first_trace m rt ~tel ~graph ~src ~dst)
+
+let later m rt ~tel ~graph ~src ~dst =
+  path_of (later_trace m rt ~tel ~graph ~src ~dst)

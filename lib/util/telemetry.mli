@@ -18,6 +18,12 @@ type t = {
       (** first packets that fell back to the resolution database *)
   mutable messages_sent : int;  (** protocol messages on the simulator *)
   mutable sssp_runs : int;  (** shortest-path computations (engine oracles) *)
+  mutable packets_walked : int;  (** data-plane walks executed *)
+  mutable packets_delivered : int;  (** walks that reached the destination *)
+  mutable packets_dropped : int;  (** walks dropped (TTL, loop, no route) *)
+  mutable hops_forwarded : int;  (** individual forwarding decisions taken *)
+  mutable header_rewrites : int;  (** in-flight header rewrites *)
+  mutable header_bytes : int;  (** header bytes carried, summed per hop *)
 }
 
 val create : unit -> t
@@ -27,6 +33,11 @@ val route_failure : t -> unit
 val resolution_fallback : t -> unit
 val message_sent : t -> unit
 val sssp_run : t -> unit
+
+val packet_walked :
+  t -> delivered:bool -> hops:int -> rewrites:int -> header_bytes:int -> unit
+(** Record one finished data-plane walk: its outcome, per-hop decision
+    count, in-flight rewrites and total header bytes carried. *)
 
 val add : into:t -> t -> unit
 (** Accumulate [t]'s counters into [into]. *)
@@ -42,6 +53,12 @@ type snapshot = {
   resolution_fallbacks : int;
   messages_sent : int;
   sssp_runs : int;
+  packets_walked : int;
+  packets_delivered : int;
+  packets_dropped : int;
+  hops_forwarded : int;
+  header_rewrites : int;
+  header_bytes : int;
 }
 (** An immutable read view. Results that outlive the run (e.g.
     [Engine.sampled]) carry a [snapshot], never the live mutable [t], so a

@@ -22,8 +22,13 @@ let test_bounded_run_passes () =
 
 (* A router that routes correctly but takes a pointless neighbor bounce on
    the first packet, paired with a spec that (correctly) brands it
-   stretch-1: disco-check must convict it. *)
+   stretch-1: disco-check must convict it. Its data plane replays the
+   oracle route label by label (delivering only when the labels run out,
+   so the bounce is walked in full), keeping walk ≡ oracle clean — the
+   stretch bound is the only invariant it breaks. *)
 module Detour_router = struct
+  module D = Disco_core.Dataplane
+
   type t = { graph : Graph.t; ws : Dijkstra.workspace }
 
   let name = "detour"
@@ -42,14 +47,29 @@ module Detour_router = struct
            ~parent:(fun v -> sp.Dijkstra.parent.(v))
            ~src ~dst)
 
-  let route_first t ~tel:_ ~src ~dst =
+  let detour t ~src ~dst =
     match shortest t ~src ~dst with
     | None -> None
     | Some path ->
         let nbr, _ = Graph.nth_neighbor t.graph src 0 in
         Some (src :: nbr :: path)
 
-  let route_later t ~tel:_ ~src ~dst = shortest t ~src ~dst
+  let oracle_first t ~tel:_ ~src ~dst = detour t ~src ~dst
+  let oracle_later t ~tel:_ ~src ~dst = shortest t ~src ~dst
+  let ttl_factor = 4
+
+  let header_of ~dst = function
+    | Some (_ :: rest) -> { (D.plain ~dst D.Carry) with D.labels = rest }
+    | _ -> D.plain ~dst D.Carry
+
+  let first_header t ~tel:_ ~src ~dst = header_of ~dst (detour t ~src ~dst)
+  let later_header t ~tel:_ ~src ~dst = header_of ~dst (shortest t ~src ~dst)
+
+  let forward _ (h : D.header) ~at:u =
+    match h.D.labels with
+    | next :: rest -> D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+    | [] -> if u = h.D.dst then D.Deliver else D.Drop D.No_route
+
   let state_entries _ _ = 0
   let fork t = { t with ws = Dijkstra.make_workspace t.graph }
 end

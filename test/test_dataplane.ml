@@ -1,0 +1,143 @@
+(* The scheme-agnostic walker itself: TTL exhaustion, loop detection,
+   rewrite accounting at a proxy, the data-plane contract (neighbor hops
+   only, deliver only at the destination), and header byte accounting. *)
+
+module Graph = Disco_graph.Graph
+module D = Disco_core.Dataplane
+
+(* A weighted line 0 - 1 - ... - (n-1). *)
+let line n =
+  let b = Graph.Builder.create n in
+  for v = 0 to n - 2 do
+    Graph.Builder.add_edge b v (v + 1) 1.0
+  done;
+  Graph.Builder.build b
+
+let test_ttl_exhaustion () =
+  let g = line 3 in
+  (* Ping-pong 0 <-> 1 forever, changing the header every hop so loop
+     detection never fires: only the TTL stops the walk. *)
+  let forward (h : D.header) ~at =
+    let next = if at = 0 then 1 else 0 in
+    D.Rewrite ({ h with D.extra_bytes = h.D.extra_bytes + 1 }, next, D.Hop next)
+  in
+  let tr = D.walk ~ttl:7 g ~forward ~src:0 (D.plain ~dst:2 D.Carry) in
+  Alcotest.(check bool) "not delivered" false tr.D.delivered;
+  Alcotest.(check bool) "ttl expired" true (tr.D.dropped = Some D.Ttl_expired);
+  Alcotest.(check int) "stopped at the ttl" 7 tr.D.hops
+
+let test_loop_detected () =
+  let g = line 3 in
+  (* The same ping-pong with an unchanged header: revisiting node 0 in an
+     identical state is cut immediately, long before the TTL. *)
+  let forward (_ : D.header) ~at = D.Forward (if at = 0 then 1 else 0) in
+  let tr = D.walk g ~forward ~src:0 (D.plain ~dst:2 D.Carry) in
+  Alcotest.(check bool) "loop detected" true (tr.D.dropped = Some D.Loop_detected);
+  Alcotest.(check int) "cut at first state recurrence" 2 tr.D.hops
+
+let test_rewrite_at_proxy () =
+  let g = line 4 in
+  (* Steer to waypoint 2 on explicit labels; the waypoint rewrites the
+     header with the onward route — the shape of every lookup detour. *)
+  let forward (h : D.header) ~at =
+    match (h.D.phase, h.D.labels) with
+    | D.Carry, [] -> if at = h.D.dst then D.Deliver else D.Drop D.No_route
+    | (D.Steer _ | D.Carry), next :: rest ->
+        D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+    | D.Steer _, [] ->
+        D.Rewrite
+          ( { h with D.phase = D.Carry; labels = []; waypoint = -1 },
+            3,
+            D.Address_rewrite )
+    | _ -> D.Drop (D.Protocol_error "unexpected phase")
+  in
+  let header =
+    { (D.plain ~dst:3 (D.Steer { tried_proxy = false })) with
+      D.labels = [ 1; 2 ];
+      waypoint = 2;
+    }
+  in
+  let tr = D.walk g ~forward ~src:0 header in
+  Alcotest.(check bool) "delivered" true tr.D.delivered;
+  Alcotest.(check (list int)) "path rides through the proxy" [ 0; 1; 2; 3 ] tr.D.path;
+  (* Two label hops, then the address rewrite at the proxy. *)
+  Alcotest.(check int) "rewrites counted" 3 tr.D.rewrites;
+  Alcotest.(check bool) "proxy rewrite recorded" true
+    (List.exists
+       (fun (s : D.step) -> s.D.at = 2 && s.D.action = D.Address_rewrite)
+       tr.D.steps)
+
+let test_non_neighbor_is_protocol_error () =
+  let g = line 4 in
+  let forward (_ : D.header) ~at:_ = D.Forward 3 (* 3 is not adjacent to 0 *) in
+  let tr = D.walk g ~forward ~src:0 (D.plain ~dst:3 D.Carry) in
+  Alcotest.(check bool) "dropped as protocol error" true
+    (match tr.D.dropped with Some (D.Protocol_error _) -> true | _ -> false);
+  Alcotest.(check int) "no hop taken" 0 tr.D.hops
+
+let test_deliver_away_from_dst_is_protocol_error () =
+  let g = line 4 in
+  let forward (_ : D.header) ~at:_ = D.Deliver in
+  let tr = D.walk g ~forward ~src:0 (D.plain ~dst:3 D.Carry) in
+  Alcotest.(check bool) "not delivered" false tr.D.delivered;
+  Alcotest.(check bool) "dropped as protocol error" true
+    (match tr.D.dropped with Some (D.Protocol_error _) -> true | _ -> false)
+
+let test_src_equals_dst () =
+  let g = line 4 in
+  let forward (h : D.header) ~at =
+    if at = h.D.dst then D.Deliver else D.Drop D.No_route
+  in
+  let tr = D.walk g ~forward ~src:2 (D.plain ~dst:2 D.Carry) in
+  Alcotest.(check bool) "delivered" true tr.D.delivered;
+  Alcotest.(check (list int)) "stays put" [ 2 ] tr.D.path;
+  Alcotest.(check int) "no hops" 0 tr.D.hops
+
+let test_byte_accounting () =
+  let g = line 4 in
+  (* A plain header is just the self-certifying name. *)
+  let plain = D.plain ~dst:3 D.Carry in
+  Alcotest.(check int) "plain = name bytes" 20 (D.byte_size g ~at:0 plain);
+  Alcotest.(check int) "name_bytes overridable" 8
+    (D.byte_size ~name_bytes:8 g ~at:0 plain);
+  (* Every optional field strictly grows the header. *)
+  let grows label h =
+    if D.byte_size g ~at:0 h <= D.byte_size g ~at:0 plain then
+      Alcotest.failf "%s did not grow the header" label
+  in
+  grows "labels" { plain with D.labels = [ 1; 2; 3 ] };
+  grows "waypoint" { plain with D.waypoint = 2 };
+  grows "anchor" { plain with D.anchor = 2 };
+  grows "fbound" { plain with D.fbound = 1.5 };
+  grows "vbound" { plain with D.vbound = 7L };
+  grows "extra bytes" { plain with D.extra_bytes = 4 };
+  (* The walker sums per-hop sizes: three unit hops with a constant-size
+     header give total = 3 * max. *)
+  let forward (h : D.header) ~at =
+    if at = h.D.dst then D.Deliver
+    else
+      match h.D.labels with
+      | next :: rest -> D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+      | [] -> D.Drop D.No_route
+  in
+  let tr =
+    D.walk g ~forward ~src:0 { (D.plain ~dst:3 D.Carry) with D.labels = [ 1; 2; 3 ] }
+  in
+  Alcotest.(check bool) "delivered" true tr.D.delivered;
+  Alcotest.(check bool) "bytes accounted on every hop" true
+    (tr.D.header_bytes_total >= tr.D.hops * 20
+    && tr.D.header_bytes_max >= 20
+    && tr.D.header_bytes_total <= tr.D.hops * tr.D.header_bytes_max)
+
+let suite =
+  [
+    Alcotest.test_case "ttl exhaustion" `Quick test_ttl_exhaustion;
+    Alcotest.test_case "loop detected" `Quick test_loop_detected;
+    Alcotest.test_case "rewrite at proxy" `Quick test_rewrite_at_proxy;
+    Alcotest.test_case "non-neighbor hop rejected" `Quick
+      test_non_neighbor_is_protocol_error;
+    Alcotest.test_case "deliver away from dst rejected" `Quick
+      test_deliver_away_from_dst_is_protocol_error;
+    Alcotest.test_case "src = dst" `Quick test_src_equals_dst;
+    Alcotest.test_case "byte accounting" `Quick test_byte_accounting;
+  ]

@@ -30,7 +30,9 @@ let () =
       ("overlay", Test_overlay.suite);
       ("resolution", Test_resolution.suite);
       ("disco-core", Test_disco_core.suite);
+      ("dataplane", Test_dataplane.suite);
       ("forwarding", Test_forwarding.suite);
+      ("dataplane-differential", Test_dataplane_differential.suite);
       ("header", Test_header.suite);
       ("s4", Test_s4.suite);
       ("vrr", Test_vrr.suite);

@@ -2,7 +2,14 @@
    bit-identical to the sequential one. Same seed, jobs=1 vs jobs=4 —
    same samples in the same order, same merged telemetry, and byte-equal
    Results JSON (with wall-clock nulled out; elapsed_s is the one field
-   allowed to differ). *)
+   allowed to differ).
+
+   Since the engine queries routers through the shared walker, the
+   telemetry equality below also pins the data plane's walker counters
+   (packets walked, hops, rewrites, header bytes) across fork boundaries:
+   forked handles may alias converged state, but per-packet walker
+   scratch is local to each Walk call, so parallel walks can never bleed
+   into each other's accounting. *)
 
 module Gen = Disco_graph.Gen
 module Telemetry = Disco_util.Telemetry

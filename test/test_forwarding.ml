@@ -3,6 +3,7 @@ module Rng = Disco_util.Rng
 module Core = Disco_core
 module Disco = Disco_core.Disco
 module Forwarding = Disco_core.Forwarding
+module D = Disco_core.Dataplane
 
 let build seed =
   let g = Helpers.random_weighted_graph seed in
@@ -15,11 +16,11 @@ let test_delivery_all_pairs () =
     for t = 0 to n - 1 do
       if s <> t then begin
         let tr = Forwarding.first_packet d ~src:s ~dst:t in
-        Alcotest.(check bool) (Printf.sprintf "%d->%d delivered" s t) true tr.Forwarding.delivered;
-        Helpers.check_path g ~src:s ~dst:t tr.Forwarding.path;
+        Alcotest.(check bool) (Printf.sprintf "%d->%d delivered" s t) true tr.Forwarding.walk.D.delivered;
+        Helpers.check_path g ~src:s ~dst:t tr.Forwarding.walk.D.path;
         let tr' = Forwarding.later_packet d ~src:s ~dst:t in
-        Alcotest.(check bool) "later delivered" true tr'.Forwarding.delivered;
-        Helpers.check_path g ~src:s ~dst:t tr'.Forwarding.path
+        Alcotest.(check bool) "later delivered" true tr'.Forwarding.walk.D.delivered;
+        Helpers.check_path g ~src:s ~dst:t tr'.Forwarding.walk.D.path
       end
     done
   done
@@ -37,7 +38,7 @@ let test_matches_control_plane () =
         let route =
           Disco.route_first ~heuristic:Core.Shortcut.To_destination d ~src:s ~dst:t
         in
-        let lf = Helpers.path_len g tr.Forwarding.path in
+        let lf = Helpers.path_len g tr.Forwarding.walk.D.path in
         let lc = Helpers.path_len g route in
         if Float.abs (lf -. lc) > 1e-9 then
           Alcotest.failf "%d->%d: forwarded %.6f vs computed %.6f" s t lf lc
@@ -55,7 +56,7 @@ let test_later_matches_control_plane () =
         let route =
           Disco.route_later ~heuristic:Core.Shortcut.To_destination d ~src:s ~dst:t
         in
-        let lf = Helpers.path_len g tr.Forwarding.path in
+        let lf = Helpers.path_len g tr.Forwarding.walk.D.path in
         let lc = Helpers.path_len g route in
         if lf > lc +. 1e-9 then
           Alcotest.failf "%d->%d: forwarded %.6f worse than computed %.6f" s t lf lc
@@ -91,16 +92,19 @@ let test_handshake_iff_in_vicinity () =
 let test_steps_recorded () =
   let _, d = build 11 in
   let tr = Forwarding.first_packet d ~src:0 ~dst:7 in
-  Alcotest.(check bool) "has decisions" true (List.length tr.Forwarding.steps > 0);
-  let last = List.nth tr.Forwarding.steps (List.length tr.Forwarding.steps - 1) in
-  Alcotest.(check string) "last is deliver" "deliver" last.Forwarding.action;
-  Alcotest.(check int) "deliver at destination" 7 last.Forwarding.at
+  let steps = tr.Forwarding.walk.D.steps in
+  Alcotest.(check bool) "has decisions" true (List.length steps > 0);
+  let last = List.nth steps (List.length steps - 1) in
+  (* Typed action, not a string to pattern-match on. *)
+  Alcotest.(check bool) "last is deliver" true (last.D.action = D.Delivered);
+  Alcotest.(check int) "deliver at destination" 7 last.D.at
 
 let test_trivial () =
   let _, d = build 13 in
   let tr = Forwarding.first_packet d ~src:4 ~dst:4 in
-  Alcotest.(check bool) "delivered" true tr.Forwarding.delivered;
-  Alcotest.(check (list int)) "stays put" [ 4 ] tr.Forwarding.path
+  Alcotest.(check bool) "delivered" true tr.Forwarding.walk.D.delivered;
+  Alcotest.(check (list int)) "stays put" [ 4 ] tr.Forwarding.walk.D.path;
+  Alcotest.(check int) "no hops" 0 tr.Forwarding.walk.D.hops
 
 let test_pp_trace () =
   let _, d = build 15 in
@@ -145,11 +149,11 @@ let prop_first_packet_stretch_bound =
             | Disco.Resolution_fallback -> () (* no bound in the fallback *)
             | _ ->
                 if
-                  Helpers.path_len g tr.Forwarding.path
+                  Helpers.path_len g tr.Forwarding.walk.D.path
                   /. sp.Disco_graph.Dijkstra.dist.(t)
                   > 7.0 +. 1e-9
                 then ok := false);
-            if not tr.Forwarding.delivered then ok := false
+            if not tr.Forwarding.walk.D.delivered then ok := false
           end
         done
       done;

@@ -34,10 +34,12 @@ let test_duplicate_rejected () =
     (Invalid_argument "Protocol.register: duplicate router \"disco\"")
     (fun () -> Protocol.register disco)
 
-(* One pass over sampled pairs per router: every returned path is valid
-   and no faster than the shortest path. *)
+(* One pass over sampled pairs per router, through both faces of the
+   contract: walked data-plane paths and oracle routes are all valid and
+   no faster than the shortest path. *)
 let check_router packed () =
   let module R = (val packed : Protocol.ROUTER) in
+  let module Walk = Disco_experiments.Walk in
   let tb = Lazy.force testbed in
   let g = tb.Testbed.graph in
   let n = Graph.n g in
@@ -68,10 +70,18 @@ let check_router packed () =
                 if stretch < 1.0 -. 1e-9 then
                   Alcotest.failf "%s %s: stretch %.4f < 1 for %d->%d" R.name label
                     stretch src dst)
-          [ ("first", R.route_first); ("later", R.route_later) ]
+          [
+            ("walk-first", fun rt -> Walk.first (module R) rt ~graph:g);
+            ("walk-later", fun rt -> Walk.later (module R) rt ~graph:g);
+            ("oracle-first", R.oracle_first);
+            ("oracle-later", R.oracle_later);
+          ]
     done
   done;
-  if !routed = 0 then Alcotest.failf "%s: no pair routed at all" R.name
+  if !routed = 0 then Alcotest.failf "%s: no pair routed at all" R.name;
+  (* The walker really ran: the per-hop counters moved. *)
+  if tel.Telemetry.packets_walked = 0 || tel.Telemetry.hops_forwarded = 0 then
+    Alcotest.failf "%s: data-plane counters never moved" R.name
 
 let suite =
   [
