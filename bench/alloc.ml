@@ -1,0 +1,122 @@
+(* Allocs-per-hop microbenchmark (`--figure alloc`): Gc.minor_words around
+   hop-by-hop walks, per registered scheme, for first (resolving) and later
+   (converged) packets.  This is the measured counterpart of disco-lint's
+   L7 discipline: the typed pass proves the hop loop calls no allocating
+   helper it didn't waive; this reports what the waived allocations —
+   trace recording, per-walk setup, the schemes' header rewrites — cost in
+   minor words per hop.  `--json FILE` snapshots the table (BENCH_alloc.json
+   keeps the committed baseline). *)
+
+module Testbed = Disco_experiments.Testbed
+module Routers = Disco_experiments.Routers
+module Protocol = Disco_experiments.Protocol
+module Scale = Disco_experiments.Scale
+module Telemetry = Disco_util.Telemetry
+module Graph = Disco_graph.Graph
+module D = Disco_core.Dataplane
+
+type row = {
+  scheme : string;
+  kind : string; (* "first" | "later" *)
+  walks : int;
+  hops : int;
+  minor_words : float;
+  words_per_hop : float;
+  words_per_walk : float;
+}
+
+(* Sampled source-destination pairs, deterministic in the testbed seed. *)
+let sample_pairs tb ~count =
+  let rng = Testbed.rng tb ~purpose:71 in
+  let n = Graph.n tb.Testbed.graph in
+  List.init count (fun _ ->
+      let s = Disco_util.Rng.int rng n in
+      let rec draw () =
+        let d = Disco_util.Rng.int rng n in
+        if d = s then draw () else d
+      in
+      (s, draw ()))
+
+let measure_kind (type a) (module R : Protocol.ROUTER with type t = a) (rt : a)
+    ~graph ~kind ~pairs =
+  let tel = Telemetry.create () in
+  let ttl = R.ttl_factor * Graph.n graph in
+  let header =
+    match kind with
+    | "first" -> fun ~src ~dst -> R.first_header rt ~tel ~src ~dst
+    | _ -> fun ~src ~dst -> R.later_header rt ~tel ~src ~dst
+  in
+  let one acc (src, dst) =
+    let tr = D.walk ~ttl graph ~forward:(R.forward rt) ~src (header ~src ~dst) in
+    acc + tr.D.hops
+  in
+  (* Warm-up pass: populate lazy per-scheme caches (pivot trees, resolver
+     state) so the measured pass sees steady-state allocation only. *)
+  ignore (List.fold_left one 0 pairs : int);
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  let hops = List.fold_left one 0 pairs in
+  let minor_words = Gc.minor_words () -. before in
+  let walks = List.length pairs in
+  {
+    scheme = R.name;
+    kind;
+    walks;
+    hops;
+    minor_words;
+    words_per_hop = (if hops = 0 then 0.0 else minor_words /. float_of_int hops);
+    words_per_walk = minor_words /. float_of_int walks;
+  }
+
+let measure_scheme tb ~pairs (p : Protocol.packed) =
+  let (module R) = p in
+  let rt = R.build tb in
+  let graph = tb.Testbed.graph in
+  [
+    measure_kind (module R) rt ~graph ~kind:"first" ~pairs;
+    measure_kind (module R) rt ~graph ~kind:"later" ~pairs;
+  ]
+
+let json_of_rows ~seed ~n ~walks rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"figure\": \"alloc\",\n  \"seed\": %d,\n  \"n\": %d,\n  \
+        \"walks_per_row\": %d,\n  \"rows\": [\n" seed n walks);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"scheme\": %S, \"kind\": %S, \"walks\": %d, \"hops\": %d, \
+            \"minor_words\": %.0f, \"words_per_hop\": %.1f, \
+            \"words_per_walk\": %.1f}%s\n"
+           r.scheme r.kind r.walks r.hops r.minor_words r.words_per_hop
+           r.words_per_walk
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run ?json ~seed scale =
+  let n = match scale with Scale.Small -> 512 | Scale.Paper -> 4096 in
+  let walks = match scale with Scale.Small -> 200 | Scale.Paper -> 500 in
+  Printf.printf
+    "\n== alloc: minor words per hop (Gc.minor_words, n=%d, %d walks/row) ==\n%!"
+    n walks;
+  let tb = Testbed.make ~seed Disco_graph.Gen.Geometric ~n in
+  let pairs = sample_pairs tb ~count:walks in
+  let rows = List.concat_map (measure_scheme tb ~pairs) (Routers.all ()) in
+  Printf.printf "  %-12s %-6s %8s %10s %14s %15s\n" "scheme" "kind" "walks"
+    "hops" "words/hop" "words/walk";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s %-6s %8d %10d %14.1f %15.1f\n" r.scheme r.kind
+        r.walks r.hops r.words_per_hop r.words_per_walk)
+    rows;
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_of_rows ~seed ~n ~walks rows);
+      close_out oc;
+      Printf.printf "wrote %s\n" path

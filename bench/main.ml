@@ -16,20 +16,29 @@ module Cli = Disco_experiments.Cli
 
 let run figure scale seed jobs json =
   Results.reset ();
-  (match figure with
-  | "all" ->
-      Figures.run_all ~seed ~jobs scale;
-      Micro.run ()
-  | "micro" -> Micro.run ()
-  | id -> Figures.run ~seed ~jobs scale id);
-  match json with
-  | Some path -> (
+  match figure with
+  | "alloc" -> (
+      (* Alloc mode owns its output: --json snapshots the alloc table
+         (BENCH_alloc.json), not the per-figure Results summary. *)
       try
-        Results.write_json path;
-        Printf.printf "wrote %s\n" path;
+        Alloc.run ?json ~seed scale;
         `Ok ()
       with Sys_error e -> `Error (false, e))
-  | None -> `Ok ()
+  | _ -> (
+      (match figure with
+      | "all" ->
+          Figures.run_all ~seed ~jobs scale;
+          Micro.run ()
+      | "micro" -> Micro.run ()
+      | id -> Figures.run ~seed ~jobs scale id);
+      match json with
+      | Some path -> (
+          try
+            Results.write_json path;
+            Printf.printf "wrote %s\n" path;
+            `Ok ()
+          with Sys_error e -> `Error (false, e))
+      | None -> `Ok ())
 
 let json =
   let doc = "Write per-figure/per-router summary statistics as JSON." in
@@ -42,7 +51,7 @@ let cmd =
     Term.(
       ret
         (const run
-        $ Cli.figure_term ~extra:[ "all"; "micro" ] ~default:"all" ()
+        $ Cli.figure_term ~extra:[ "all"; "micro"; "alloc" ] ~default:"all" ()
         $ Cli.scale_term $ Cli.seed_term $ Cli.jobs_term $ json))
 
 let () = exit (Cmd.eval cmd)

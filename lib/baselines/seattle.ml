@@ -64,21 +64,27 @@ let ttl_factor = 4
    destination, so it only delivers in [Carry] (matching the oracle,
    whose resolver detour may pass through the destination). *)
 let forward t (h : D.header) ~at:u =
+  (* disco-lint: allow L7 the scrutinee pairs phase and labels: per-decision by design *)
   match (h.D.phase, h.D.labels) with
   | D.Carry, _ when u = h.D.dst -> D.Deliver
   | (D.Carry | D.Steer _), next :: rest ->
+      (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
       D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
   | D.Carry, [] -> D.Drop D.No_route
   | D.Steer _, [] -> (
         (* At the resolver: its directory share holds the destination. *)
+        (* disco-lint: allow L7 L9 the resolver writes the onward route from its table (one allocation at the waypoint); raises only on control-plane-impossible states *)
         match shortest t ~src:u ~dst:h.D.dst with
         | _ :: (next :: rest) ->
+            (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
             D.Rewrite
+              (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
               ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
                 next,
                 D.Address_rewrite )
         | _ -> D.Drop D.No_route)
     | (D.Seek _ | D.Greedy | D.Fallback), _ ->
+        (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
         D.Drop (D.Protocol_error "seattle: foreign header phase")
 
 let carry_header ~dst path =

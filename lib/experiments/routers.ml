@@ -263,11 +263,14 @@ module Pathvector_router = struct
   let forward _t (h : D.header) ~at:u =
     if u = h.D.dst then D.Deliver
     else
+      (* disco-lint: allow L7 the scrutinee pairs phase and labels: per-decision by design *)
       match (h.D.phase, h.D.labels) with
       | D.Carry, next :: rest ->
+          (* disco-lint: allow L7 fresh immutable header per hop is the Rewrite contract *)
           D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
       | D.Carry, [] -> D.Drop D.No_route
       | (D.Seek _ | D.Steer _ | D.Greedy | D.Fallback), _ ->
+          (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
           D.Drop (D.Protocol_error "pathvector: foreign header phase")
 
   let oracle_first t ~tel ~src ~dst =

@@ -89,16 +89,24 @@ let nth_neighbor t u i =
   let j = t.row.(u) + i in
   (t.col.(j), t.wgt.(j))
 
-(* Binary search within u's sorted row for neighbor v. *)
+(* Binary search within u's sorted row for neighbor v; -1 when absent.
+   Allocation-free (a recursive loop, no refs, no option) so the hop-loop
+   membership check [has_edge] stays off the minor heap (lint L7). *)
+let rec slot_between t v lo hi =
+  if lo > hi then -1
+  else
+    let mid = (lo + hi) / 2 in
+    let c = t.col.(mid) in
+    if c = v then mid
+    else if c < v then slot_between t v (mid + 1) hi
+    else slot_between t v lo (mid - 1)
+
+let slot_of t u v = slot_between t v t.row.(u) (t.row.(u + 1) - 1)
+
+let has_edge t u v = slot_of t u v >= 0
+
 let find_slot t u v =
-  let lo = ref t.row.(u) and hi = ref (t.row.(u + 1) - 1) in
-  let found = ref (-1) in
-  while !found < 0 && !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let c = compare t.col.(mid) v in
-    if c = 0 then found := mid else if c < 0 then lo := mid + 1 else hi := mid - 1
-  done;
-  if !found < 0 then None else Some !found
+  match slot_of t u v with -1 -> None | slot -> Some slot
 
 let neighbor_rank t u v =
   Option.map (fun slot -> slot - t.row.(u)) (find_slot t u v)

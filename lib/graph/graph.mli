@@ -50,6 +50,11 @@ val nth_neighbor : t -> int -> int -> int * float
     forwarding label [i] at [u]).
     @raise Invalid_argument if [i >= degree g u]. *)
 
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v] iff [u]–[v] is an edge (binary search; O(log d)).
+    Allocation-free, unlike {!edge_weight}: the hop loop's link check
+    must not touch the minor heap (lint L7). *)
+
 val neighbor_rank : t -> int -> int -> int option
 (** [neighbor_rank g u v] is the forwarding label at [u] that leads to [v],
     if [u]–[v] is an edge (binary search; O(log d)). *)

@@ -4,15 +4,20 @@ let prime = 0x100000001b3L
 let step acc byte =
   Int64.mul (Int64.logxor acc (Int64.of_int byte)) prime
 
+(* The fold is a toplevel recursion (no ref cell, no String.iter closure)
+   so the only per-call allocation left is the boxed Int64 accumulator the
+   FNV-1a semantics are pinned to. *)
+let rec fold s n i acc =
+  if i >= n then acc else fold s n (i + 1) (step acc (Char.code (String.get s i)))
+
 let hash s =
-  let acc = ref offset_basis in
-  String.iter (fun c -> acc := step !acc (Char.code c)) s;
-  !acc
+  (* disco-lint: allow L7 FNV-1a is pinned to 64-bit arithmetic; the boxed Int64 accumulator is unavoidable short-lived minor garbage *)
+  fold s (String.length s) 0 offset_basis
+
+let rec fold_seed seed i acc =
+  if i > 7 then acc
+  else fold_seed seed (i + 1) (step acc ((seed lsr (8 * i)) land 0xFF))
 
 let hash_with_seed seed s =
-  let acc = ref offset_basis in
-  for i = 0 to 7 do
-    acc := step !acc ((seed lsr (8 * i)) land 0xFF)
-  done;
-  String.iter (fun c -> acc := step !acc (Char.code c)) s;
-  !acc
+  (* disco-lint: allow L7 FNV-1a is pinned to 64-bit arithmetic; the boxed Int64 accumulator is unavoidable short-lived minor garbage *)
+  fold s (String.length s) 0 (fold_seed seed 0 offset_basis)

@@ -1,0 +1,58 @@
+(* Orchestration for the typed pass: load .cmt units, build the call graph,
+   apply the typed rules, then filter findings through the same inline
+   waiver comments and severity machinery as the syntactic pass.
+
+   Waivers are read from the source files the findings point into
+   ([source_root]/[file]); a finding whose source cannot be read simply
+   keeps its diagnostic (missing sources should be loud, not silent). *)
+
+let waivers_cache = Hashtbl.create 16
+
+let waivers_for ~source_root file =
+  match Hashtbl.find_opt waivers_cache (source_root, file) with
+  | Some w -> w
+  | None ->
+      let w =
+        match Driver.read_file (Filename.concat source_root file) with
+        | source -> Some (Waivers.scan source)
+        | exception Sys_error _ -> None
+      in
+      Hashtbl.add waivers_cache (source_root, file) w;
+      w
+
+let diagnostic_of ~severity_overrides (f : Typed_rules.finding) =
+  {
+    Diagnostic.rule = f.Typed_rules.rule.Rules.id;
+    severity = Driver.severity_of ~overrides:severity_overrides f.Typed_rules.rule;
+    file = f.Typed_rules.f_pos.Callgraph.p_file;
+    line = f.Typed_rules.f_pos.Callgraph.p_line;
+    col = f.Typed_rules.f_pos.Callgraph.p_col;
+    message = f.Typed_rules.message;
+    hint = f.Typed_rules.rule.Rules.hint;
+  }
+
+let waived ~source_root (f : Typed_rules.finding) =
+  match waivers_for ~source_root f.Typed_rules.f_pos.Callgraph.p_file with
+  | None -> false
+  | Some w ->
+      Waivers.allows w
+        ~rule:f.Typed_rules.rule.Rules.id
+        ~line:f.Typed_rules.f_pos.Callgraph.p_line
+
+(* Run the typed pass.  [roots] scope both which units are analyzed and
+   which sources are linted; [check_manifest] should be true when the
+   whole repo is analyzed (H0 is meaningless on a subtree). *)
+let run ?(severity_overrides = []) ?(check_manifest = true) ~build_dir
+    ~source_root ~roots () =
+  match Typed_load.load ~build_dir ~roots with
+  | Error e -> Error e
+  | Ok units ->
+      let cg = Callgraph.build units in
+      let findings = Typed_rules.run ~check_manifest cg in
+      let diagnostics =
+        findings
+        |> List.filter (fun f -> not (waived ~source_root f))
+        |> List.map (diagnostic_of ~severity_overrides)
+        |> List.sort Diagnostic.compare_by_position
+      in
+      Ok (units, Driver.summarize ~files:(List.length units) diagnostics)

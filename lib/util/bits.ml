@@ -1,8 +1,7 @@
-let width_for d =
-  if d <= 1 then 0
-  else
-    let rec go w cap = if cap >= d then w else go (w + 1) (cap * 2) in
-    go 1 2
+(* The loop lives at toplevel so [width_for] — called for every label bit
+   the byte accounting charges, i.e. per hop — allocates no closure (L7). *)
+let rec width_loop d w cap = if cap >= d then w else width_loop d (w + 1) (cap * 2)
+let width_for d = if d <= 1 then 0 else width_loop d 1 2
 
 module Writer = struct
   type t = { mutable buf : Bytes.t; mutable bits : int }

@@ -47,4 +47,5 @@ let () =
       ("disco-check", Test_check.suite);
       ("disco-check-regressions", Test_check_regressions.suite);
       ("lint", Test_lint.suite);
+      ("lint-typed", Test_lint_typed.suite);
     ]

@@ -1,0 +1,4 @@
+(* L7 negative: hot arithmetic and array access allocate nothing. *)
+let[@hot] add x y = x + y
+let[@hot] nth a i = Array.get a i
+let[@hot] clamp lo hi x = if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,3 @@
+(* L7 positive: [@hot] functions that allocate on their fast path. *)
+let[@hot] boxes x = Some (x + 1)
+let[@hot] pairs x y = (x, y)

@@ -1,0 +1,4 @@
+(* L7 transitive: the hot entry is clean itself but calls a list-building
+   helper, so the finding must cross the function boundary. *)
+let build x = [ x; x + 1 ]
+let[@hot] entry x = build x

@@ -1,0 +1,5 @@
+(* L7 waived: the same allocation as the positive fixture, justified
+   inline, so the typed pass reports nothing. *)
+let[@hot] boxed x =
+  (* disco-lint: allow L7 fixture: documented one-off allocation *)
+  Some (x + 1)

@@ -1,0 +1,9 @@
+(* L8 negative: shared state is behind Pool.Memo; the other task touches
+   only its own arguments. *)
+let memo : (int, int) Disco_util.Pool.Memo.t = Disco_util.Pool.Memo.create ()
+
+let squares pool xs =
+  Disco_util.Pool.run pool xs (fun x ->
+      Disco_util.Pool.Memo.find_or_add memo x (fun () -> x * x))
+
+let sums pool xs = Disco_util.Pool.run pool xs (fun x -> x + 1)

@@ -1,0 +1,7 @@
+(* L8 positive: a Pool task body mutates top-level state. *)
+let hits = ref 0
+
+let tally pool xs =
+  Disco_util.Pool.run pool xs (fun x ->
+      hits := !hits + x;
+      x)

@@ -1,0 +1,3 @@
+(* L9 negative: the only raise is wrapped in try/with at the boundary. *)
+let[@hot] guarded x =
+  try if x < 0 then raise Not_found else x with Not_found -> 0

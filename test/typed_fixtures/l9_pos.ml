@@ -1,0 +1,5 @@
+(* L9 positive: hot code that can raise, directly (failwith) and
+   transitively (Hashtbl.find via a helper). *)
+let pick tbl k = Hashtbl.find tbl k
+let[@hot] lookup tbl k = pick tbl k
+let[@hot] checked x = if x < 0 then failwith "negative" else x
