@@ -97,7 +97,92 @@ let json_of_rows ~seed ~n ~walks rows =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
-let run ?json ~seed scale =
+(* --- baseline gate (--baseline FILE) --------------------------------
+
+   String-scan of the committed BENCH_alloc.json — one row object per
+   line, as json_of_rows writes them — so the gate needs no JSON
+   dependency.  Allocation counts are deterministic for a fixed seed and
+   build, so the 20% headroom is for compiler-version drift, not noise. *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else at (i + 1)
+  in
+  at 0
+
+let scan_row line =
+  let field_string key =
+    match find_sub line (Printf.sprintf "\"%s\": \"" key) with
+    | None -> None
+    | Some i ->
+        let start = i + String.length key + 5 in
+        let stop = String.index_from line start '"' in
+        Some (String.sub line start (stop - start))
+  in
+  let field_float key =
+    match find_sub line (Printf.sprintf "\"%s\": " key) with
+    | None -> None
+    | Some i ->
+        let start = i + String.length key + 4 in
+        let stop = ref start in
+        while
+          !stop < String.length line
+          && (match line.[!stop] with
+             | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub line start (!stop - start))
+  in
+  match (field_string "scheme", field_string "kind", field_float "words_per_hop") with
+  | Some scheme, Some kind, Some wph -> Some ((scheme, kind), wph)
+  | _ -> None
+
+let parse_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       match scan_row (input_line ic) with
+       | Some r -> rows := r :: !rows
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  !rows
+
+(* Fail (Sys_error, so the CLI exits nonzero) on any row whose words/hop
+   regressed more than 20% over the committed baseline.  Rows without a
+   baseline entry (a newly registered scheme) pass with a notice — they
+   gate once the baseline is regenerated. *)
+let gate ~baseline rows =
+  let base = parse_baseline baseline in
+  let regressions =
+    List.filter_map
+      (fun r ->
+        match List.assoc_opt (r.scheme, r.kind) base with
+        | None ->
+            Printf.printf "  (no baseline for %s/%s; skipped)\n" r.scheme r.kind;
+            None
+        | Some b ->
+            if r.words_per_hop > b *. 1.2 then
+              Some
+                (Printf.sprintf "%s/%s: %.1f words/hop > %.1f (baseline %.1f +20%%)"
+                   r.scheme r.kind r.words_per_hop (b *. 1.2) b)
+            else None)
+      rows
+  in
+  match regressions with
+  | [] -> Printf.printf "alloc gate: all rows within 20%% of %s\n" baseline
+  | rs ->
+      raise
+        (Sys_error
+           (Printf.sprintf "alloc regression vs %s:\n  %s" baseline
+              (String.concat "\n  " rs)))
+
+let run ?json ?baseline ~seed scale =
   let n = match scale with Scale.Small -> 512 | Scale.Paper -> 4096 in
   let walks = match scale with Scale.Small -> 200 | Scale.Paper -> 500 in
   Printf.printf
@@ -113,10 +198,11 @@ let run ?json ~seed scale =
       Printf.printf "  %-12s %-6s %8d %10d %14.1f %15.1f\n" r.scheme r.kind
         r.walks r.hops r.words_per_hop r.words_per_walk)
     rows;
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
       let oc = open_out path in
       output_string oc (json_of_rows ~seed ~n ~walks rows);
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path);
+  match baseline with None -> () | Some b -> gate ~baseline:b rows

@@ -14,14 +14,21 @@ module Figures = Disco_experiments.Figures
 module Results = Disco_experiments.Results
 module Cli = Disco_experiments.Cli
 
-let run figure scale seed jobs json =
+let run figure scale seed jobs json baseline =
   Results.reset ();
   match figure with
   | "alloc" -> (
       (* Alloc mode owns its output: --json snapshots the alloc table
-         (BENCH_alloc.json), not the per-figure Results summary. *)
+         (BENCH_alloc.json), not the per-figure Results summary;
+         --baseline gates words/hop against a committed snapshot. *)
       try
-        Alloc.run ?json ~seed scale;
+        Alloc.run ?json ?baseline ~seed scale;
+        `Ok ()
+      with Sys_error e -> `Error (false, e))
+  | "throughput" -> (
+      (* Same ownership: --json snapshots BENCH_throughput.json. *)
+      try
+        Throughput.run ?json ~seed scale;
         `Ok ()
       with Sys_error e -> `Error (false, e))
   | _ -> (
@@ -44,6 +51,13 @@ let json =
   let doc = "Write per-figure/per-router summary statistics as JSON." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let baseline =
+  let doc =
+    "Committed BENCH_alloc.json to gate against (alloc figure only): exit \
+     nonzero if any row's words/hop regresses more than 20%."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Regenerate the Disco paper's evaluation figures and tables" in
   let info = Cmd.info "disco-bench" ~doc in
@@ -51,7 +65,7 @@ let cmd =
     Term.(
       ret
         (const run
-        $ Cli.figure_term ~extra:[ "all"; "micro"; "alloc" ] ~default:"all" ()
-        $ Cli.scale_term $ Cli.seed_term $ Cli.jobs_term $ json))
+        $ Cli.figure_term ~extra:[ "all"; "micro"; "alloc"; "throughput" ] ~default:"all" ()
+        $ Cli.scale_term $ Cli.seed_term $ Cli.jobs_term $ json $ baseline))
 
 let () = exit (Cmd.eval cmd)

@@ -154,3 +154,108 @@ let forward t (h : D.header) ~at:u =
 
 let packet_header t ~src:_ ~dst =
   { (D.plain ~dst D.Greedy) with D.extra_bytes = 4 * t.routing_beacons }
+
+(* --- compiled fast path ---------------------------------------------------
+
+   [forward] flattened for {!Dataplane.fast_walk}: each destination's
+   routing-beacon components are precomputed at compile time ([fcomp]),
+   and the per-hop delta folds run over the existing distance matrices
+   with every intermediate float kept in the packet's [pfs] scratch — a
+   flat float array — so no float ever crosses a call boundary boxed.
+   Mirrors [forward] decision for decision, including the epsilon guards
+   and the nan propagation of [Float.max] when a beacon reaches neither
+   endpoint (disconnected graphs). *)
+
+type fast = {
+  fbvr : t;
+  fcomp : int array array; (* per destination: its routing-beacon indexes *)
+}
+
+let compile t =
+  { fbvr = t; fcomp = Array.init (Graph.n t.graph) (closest_beacons t) }
+
+let fast_prime (_ : fast) ~src:_ ~dst:_ = ()
+
+(* [pfs] scratch slots (slot 0 is the header's fallback bound). *)
+let fs_delta = 1
+let fs_here = 2
+let fs_best = 3
+
+(* [delta]'s fold, accumulating into [pfs.(slot)]: same order, same
+   asymmetric weighting, same [Float.max 0.0] semantics (a nan overshoot
+   stays nan, poisoning the sum exactly as the typed fold does). *)
+let rec fast_delta_loop dist comp node dst i count (pfs : float array) slot =
+  if i < count then begin
+    let b = comp.(i) in
+    let p = dist.(b).(node) in
+    let d = dist.(b).(dst) in
+    let over = p -. d in
+    let over =
+      if over > 0.0 then over else if Float.is_nan over then over else 0.0
+    in
+    let under = d -. p in
+    let under =
+      if under > 0.0 then under else if Float.is_nan under then under else 0.0
+    in
+    pfs.(slot) <- pfs.(slot) +. (10.0 *. over) +. under;
+    fast_delta_loop dist comp node dst (i + 1) count pfs slot
+  end
+
+(* [best_neighbor]'s scan: best candidate into [pis.(0)], its delta into
+   [pfs.(fs_best)] (strict epsilon improvement, CSR neighbor order). *)
+let rec fast_scan_loop f comp u dst i deg (pkt : D.packet) =
+  if i < deg then begin
+    let v = Graph.neighbor_at f.fbvr.graph u i in
+    pkt.D.pfs.(fs_delta) <- 0.0;
+    fast_delta_loop f.fbvr.dist comp v dst 0 (Array.length comp) pkt.D.pfs
+      fs_delta;
+    if pkt.D.pfs.(fs_delta) < pkt.D.pfs.(fs_best) -. 1e-12 then begin
+      pkt.D.pis.(0) <- v;
+      pkt.D.pfs.(fs_best) <- pkt.D.pfs.(fs_delta)
+    end;
+    fast_scan_loop f comp u dst (i + 1) deg pkt
+  end
+
+let fast_step f (pkt : D.packet) u =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else begin
+    let m = pkt.D.pmode in
+    if m <> D.mode_greedy && m <> D.mode_fallback then D.fast_protocol
+    else begin
+      let comp = f.fcomp.(dst) in
+      let b = comp.(0) in
+      let beacon = f.fbvr.beacons.(b) in
+      pkt.D.pis.(0) <- -1;
+      pkt.D.pfs.(fs_best) <- infinity;
+      fast_scan_loop f comp u dst 0 (Graph.degree f.fbvr.graph u) pkt;
+      pkt.D.pfs.(fs_here) <- 0.0;
+      fast_delta_loop f.fbvr.dist comp u dst 0 (Array.length comp) pkt.D.pfs
+        fs_here;
+      let best = pkt.D.pis.(0) in
+      if
+        m = D.mode_greedy && best >= 0
+        && pkt.D.pfs.(fs_best) < pkt.D.pfs.(fs_here) -. 1e-12
+      then best
+      else if
+        m = D.mode_fallback && best >= 0
+        && pkt.D.pfs.(fs_best) < pkt.D.pfs.(D.fs_fbound) -. 1e-12
+      then begin
+        pkt.D.pmode <- D.mode_greedy;
+        pkt.D.pfs.(D.fs_fbound) <- infinity;
+        best
+      end
+      else if u = beacon then D.fast_no_route
+        (* stuck at the beacon: BVR would flood *)
+      else begin
+        let p = f.fbvr.parent.(b).(u) in
+        if p < 0 then D.fast_no_route
+        else if m = D.mode_fallback then p
+        else begin
+          pkt.D.pmode <- D.mode_fallback;
+          pkt.D.pfs.(D.fs_fbound) <- pkt.D.pfs.(fs_here);
+          p
+        end
+      end
+    end
+  end

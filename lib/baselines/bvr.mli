@@ -50,3 +50,16 @@ val packet_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
 
 val coordinate : t -> int -> float array
 (** The node's beacon-distance vector (exposed for tests). *)
+
+(** {2 Compiled fast path} *)
+
+type fast
+(** Per-destination routing-beacon components precomputed over the
+    existing distance/parent matrices, for the zero-alloc walker. *)
+
+val compile : t -> fast
+val fast_prime : fast -> src:int -> dst:int -> unit
+
+val fast_step : fast -> Disco_core.Dataplane.packet -> int -> int
+(** One zero-alloc decision, mirroring {!forward} exactly (epsilons, nan
+    propagation and all); floats stay in the packet's [pfs] scratch. *)

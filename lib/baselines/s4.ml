@@ -250,6 +250,158 @@ let first_header t ~src ~dst =
     end
   end
 
+(* --- compiled fast path ---------------------------------------------------
+
+   [forward] flattened for {!Dataplane.fast_walk}: landmark trees become
+   per-root parent arrays ([flm]), and each destination's ball becomes a
+   sorted member array with parallel rootward parents ([fball_m]/
+   [fball_p]), both primed per flow.  The per-hop shortcut check is then a
+   binary search plus parent walks; mirrors [forward] decision for
+   decision, with the typed path's Invalid_argument on an unreachable
+   landmark tree mapped to the protocol verdict. *)
+
+type fast = {
+  fs4 : t;
+  fg : Graph.t;
+  fis_lm : bool array;
+  fnearest : int array;
+  flm : int array array; (* per landmark root: tree parents; [||] unprimed *)
+  fball_m : int array array; (* per destination: sorted ball members *)
+  fball_p : int array array; (* parallel: predecessor one step closer *)
+}
+
+let compile t =
+  let n = Graph.n t.graph in
+  {
+    fs4 = t;
+    fg = t.graph;
+    fis_lm = t.landmarks.Core.Landmarks.is_landmark;
+    fnearest = t.landmarks.Core.Landmarks.nearest;
+    flm = Array.make n [||];
+    fball_m = Array.make n [||];
+    fball_p = Array.make n [||];
+  }
+
+let fast_prime_tree f lm =
+  if Array.length f.flm.(lm) = 0 then
+    f.flm.(lm) <- Core.Landmark_trees.parents f.fs4.trees ~lm
+
+let fast_prime f ~src:_ ~dst =
+  if f.fis_lm.(dst) then fast_prime_tree f dst
+  else begin
+    fast_prime_tree f f.fnearest.(dst);
+    if Array.length f.fball_m.(dst) = 0 then begin
+      let lookup = ball f.fs4 dst in
+      let members = ref [] and parents = ref [] in
+      for v = Graph.n f.fg - 1 downto 0 do
+        match lookup v with
+        | Some (_, p) ->
+            members := v :: !members;
+            parents := p :: !parents
+        | None -> ()
+      done;
+      f.fball_m.(dst) <- Array.of_list !members;
+      f.fball_p.(dst) <- Array.of_list !parents
+    end
+  end
+
+(* Sorted-member binary search; -1 when [x] is outside the ball. *)
+let rec fast_ball_idx (members : int array) x lo hi =
+  if lo > hi then -1
+  else
+    let mid = (lo + hi) / 2 in
+    let m = members.(mid) in
+    if m = x then mid
+    else if m < x then fast_ball_idx members x (mid + 1) hi
+    else fast_ball_idx members x lo (mid - 1)
+
+(* [cluster_path]'s parent walk, split into a read-only probe (a broken
+   chain means no divert, and the live route must stay intact) and the
+   fill that runs only once the probe succeeds. *)
+let rec fast_ball_check members parents x dst =
+  x = dst
+  ||
+  let k = fast_ball_idx members x 0 (Array.length members - 1) in
+  k >= 0 && fast_ball_check members parents parents.(k) dst
+
+let rec fast_ball_fill (pkt : D.packet) members parents x i dst =
+  if x = dst then begin
+    pkt.D.proute_pos <- 0;
+    pkt.D.proute_end <- i;
+    i
+  end
+  else begin
+    let k = fast_ball_idx members x 0 (Array.length members - 1) in
+    let p = parents.(k) in
+    pkt.D.proute.(i) <- p;
+    fast_ball_fill pkt members parents p (i + 1) dst
+  end
+
+(* Labels left: consume; none: [Carry] is out of route, [Steer] resolves
+   at the waypoint (the destination's landmark writes the descent, any
+   other arrival steers onward to that landmark). *)
+let fast_arrival f (pkt : D.packet) u dst m =
+  if D.route_len pkt > 0 then D.route_next pkt
+  else if m = D.mode_carry then D.fast_no_route
+  else begin
+    let lm = f.fnearest.(dst) in
+    let parents = f.flm.(lm) in
+    if Array.length parents = 0 then D.fast_protocol
+    else if u = lm then begin
+      let cnt = D.route_fill_down pkt parents lm dst in
+      if cnt >= 1 then begin
+        pkt.D.pmode <- D.mode_carry;
+        pkt.D.pway <- -1;
+        D.route_next pkt
+      end
+      else D.fast_protocol (* unreachable: the typed path raises *)
+    end
+    else if D.route_chain_ok parents u lm then begin
+      let _cnt = D.route_fill_up pkt parents u lm in
+      pkt.D.pway <- lm;
+      D.route_next pkt
+    end
+    else D.fast_protocol
+  end
+
+let fast_step f (pkt : D.packet) u =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else begin
+    let m = pkt.D.pmode in
+    if m <> D.mode_carry && m <> D.mode_steer && m <> D.mode_steer_tried then
+      D.fast_protocol
+    else if f.fis_lm.(dst) then begin
+      (* Landmark destination: every node diverts onto the tree route
+         (when the remaining labels already equal it, the rewrite is the
+         identity — same next hop, same tail — so always diverting
+         matches the typed guard). *)
+      let parents = f.flm.(dst) in
+      if Array.length parents = 0 then D.fast_protocol
+      else if D.route_chain_ok parents u dst then begin
+        let _cnt = D.route_fill_up pkt parents u dst in
+        pkt.D.pmode <- D.mode_carry;
+        pkt.D.pway <- -1;
+        D.route_next pkt
+      end
+      else D.fast_protocol (* unreachable: typed [knows] raises *)
+    end
+    else begin
+      let members = f.fball_m.(dst) in
+      let parents = f.fball_p.(dst) in
+      if
+        fast_ball_idx members u 0 (Array.length members - 1) >= 0
+        && fast_ball_check members parents u dst
+      then begin
+        let _cnt = fast_ball_fill pkt members parents u 0 dst in
+        pkt.D.pmode <- D.mode_carry;
+        pkt.D.pway <- -1;
+        D.route_next pkt
+      end
+      else fast_arrival f pkt u dst m
+    end
+  end
+
 let cluster_sizes t =
   let n = Graph.n t.graph in
   let counts = Array.make n 0 in

@@ -81,3 +81,18 @@ val state_entries :
   t -> cluster_sizes:int array -> resolution_loads:int array -> int -> int
 (** Data-plane entries at a node: cluster + landmark routes + forwarding
     labels + resolution-database load. *)
+
+(** {2 Compiled fast path} *)
+
+type fast
+(** Landmark trees as parent arrays and destination balls as sorted
+    member/parent pairs, primed per flow for the zero-alloc walker. *)
+
+val compile : t -> fast
+
+val fast_prime : fast -> src:int -> dst:int -> unit
+(** Force the flow's landmark tree(s) and the destination's ball. *)
+
+val fast_step : fast -> Disco_core.Dataplane.packet -> int -> int
+(** One zero-alloc decision, mirroring {!forward} exactly (shortcut
+    diverts included). *)

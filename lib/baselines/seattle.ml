@@ -87,6 +87,53 @@ let forward t (h : D.header) ~at:u =
         (* disco-lint: allow L7 drop-path diagnostic, not per-hop steady state *)
         D.Drop (D.Protocol_error "seattle: foreign header phase")
 
+(* --- compiled fast path ---------------------------------------------------
+
+   The forward above, flattened for {!Dataplane.fast_walk}: link-state
+   trees become parent arrays indexed by root ([ftrees], primed per flow),
+   and the hop body is array indexing only.  Mirrors [forward] decision
+   for decision — including the no-deliver-while-steering rule — which
+   disco-check's fast≡typed differential enforces. *)
+
+type fast = {
+  fsea : t;
+  ftrees : int array array; (* SSSP parent array per root; [||] = unprimed *)
+}
+
+let compile t = { fsea = t; ftrees = Array.make (Graph.n t.graph) [||] }
+
+let fast_prime_root f root =
+  if Array.length f.ftrees.(root) = 0 then
+    f.ftrees.(root) <- (tree f.fsea root).Dijkstra.parent
+
+(* Force the trees the flow's decisions read: the source's (header
+   encode) and the resolver's (the steer-leg rewrite). *)
+let fast_prime f ~src ~dst =
+  fast_prime_root f src;
+  fast_prime_root f f.fsea.resolver.(dst)
+
+let fast_step f (pkt : D.packet) u =
+  let m = pkt.D.pmode in
+  if m = D.mode_carry then
+    if u = pkt.D.pdst then D.fast_deliver
+    else if D.route_len pkt > 0 then D.route_next pkt
+    else D.fast_no_route
+  else if m = D.mode_steer || m = D.mode_steer_tried then
+    if D.route_len pkt > 0 then D.route_next pkt
+    else
+      (* At the resolver: write the onward route from its own tree. *)
+      let parents = f.ftrees.(u) in
+      if Array.length parents = 0 then D.fast_protocol
+      else
+        let cnt = D.route_fill_down pkt parents u pkt.D.pdst in
+        if cnt >= 1 then begin
+          pkt.D.pmode <- D.mode_carry;
+          pkt.D.pway <- -1;
+          D.route_next pkt
+        end
+        else D.fast_no_route
+  else D.fast_protocol
+
 let carry_header ~dst path =
   match path with
   | _ :: rest -> { (D.plain ~dst D.Carry) with D.labels = rest }

@@ -39,3 +39,19 @@ val forward :
 
 val first_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
 val later_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
+
+(** {2 Compiled fast path} *)
+
+type fast
+(** Link-state trees flattened into per-root parent arrays for the
+    zero-alloc walker ({!Disco_core.Dataplane.fast_walk}). *)
+
+val compile : t -> fast
+
+val fast_prime : fast -> src:int -> dst:int -> unit
+(** Force the source's and the resolver's trees for one flow, so
+    {!fast_step} never fills a cache on the hop loop. *)
+
+val fast_step : fast -> Disco_core.Dataplane.packet -> int -> int
+(** One zero-alloc decision, mirroring {!forward} exactly (the fast≡typed
+    differential's contract). *)

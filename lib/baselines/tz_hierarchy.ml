@@ -242,3 +242,55 @@ let packet_header t ~src ~dst =
     let w = match routing_pivot t ~src ~dst with Some w -> w | None -> -1 in
     { (D.plain ~dst (D.Steer { tried_proxy = false })) with D.waypoint = w }
   end
+
+(* --- compiled fast path ---------------------------------------------------
+
+   [forward] flattened for {!Dataplane.fast_walk}: the carried pivot's
+   SSSP becomes a parent array ([ftrees], primed per flow), climbing is
+   one array load per hop, and the pivot's descent write is a
+   {!Dataplane.route_fill_down}.  Mirrors [forward] decision for
+   decision (fast≡typed differential). *)
+
+type fast = {
+  ftz : t;
+  ftrees : int array array; (* SSSP parent array per pivot; [||] = unprimed *)
+}
+
+let compile t = { ftz = t; ftrees = Array.make (Graph.n t.graph) [||] }
+
+let fast_prime_root f w =
+  if Array.length f.ftrees.(w) = 0 then
+    f.ftrees.(w) <- (tree f.ftz w).Dijkstra.parent
+
+let fast_prime f ~src ~dst =
+  match routing_pivot f.ftz ~src ~dst with
+  | Some w -> fast_prime_root f w
+  | None -> ()
+
+let fast_step f (pkt : D.packet) u =
+  let m = pkt.D.pmode in
+  if m = D.mode_steer || m = D.mode_steer_tried then begin
+    let w = pkt.D.pway in
+    if w < 0 then D.fast_no_route (* no common pivot: disconnected *)
+    else
+      let parents = f.ftrees.(w) in
+      if Array.length parents = 0 then D.fast_protocol
+      else if u = w then
+        if u = pkt.D.pdst then D.fast_deliver
+        else
+          let cnt = D.route_fill_down pkt parents w pkt.D.pdst in
+          if cnt >= 1 then begin
+            pkt.D.pmode <- D.mode_carry;
+            pkt.D.pway <- -1;
+            D.route_next pkt
+          end
+          else D.fast_no_route
+      else
+        let p = parents.(u) in
+        if p < 0 then D.fast_no_route else p
+  end
+  else if m = D.mode_carry then
+    if u = pkt.D.pdst then D.fast_deliver
+    else if D.route_len pkt > 0 then D.route_next pkt
+    else D.fast_no_route
+  else D.fast_protocol

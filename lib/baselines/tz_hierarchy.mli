@@ -61,3 +61,16 @@ val forward :
 val packet_header : t -> src:int -> dst:int -> Disco_core.Dataplane.header
 (** The header the source emits: the routing pivot of the (src, dst) climb
     as the [Steer] waypoint (-1 when the pair is disconnected). *)
+
+(** {2 Compiled fast path} *)
+
+type fast
+(** Pivot trees flattened into parent arrays for the zero-alloc walker. *)
+
+val compile : t -> fast
+
+val fast_prime : fast -> src:int -> dst:int -> unit
+(** Force the (src, dst) routing pivot's tree for one flow. *)
+
+val fast_step : fast -> Disco_core.Dataplane.packet -> int -> int
+(** One zero-alloc decision, mirroring {!forward} exactly. *)

@@ -330,6 +330,141 @@ let forward t (h : D.header) ~at:u =
 let packet_header (_ : t) ~src:_ ~dst =
   { (D.plain ~dst D.Greedy) with D.extra_bytes = 8 }
 
+(* --- compiled fast path ---------------------------------------------------
+
+   [forward] flattened for {!Dataplane.fast_walk}: virtual ids split into
+   unsigned 32-bit halves ([fvhi]/[fvlo]) and the per-node entry lists
+   flattened into one CSR block ([ftoff] offsets into [fea]/[feb]/
+   [fna]/[fnb], preserving list iteration order), so the endpoint scan
+   and the corridor lookup are array loads and the ring metric is borrow
+   arithmetic on int halves — no Int64 ever boxes on the hop loop.
+   Mirrors [forward] decision for decision, including the committed
+   endpoint / monotone bound discipline. *)
+
+type fast = {
+  fg : Graph.t;
+  fvhi : int array;
+  fvlo : int array;
+  ftoff : int array; (* n+1 offsets into the flattened entry arrays *)
+  fea : int array;
+  feb : int array;
+  fna : int array;
+  fnb : int array;
+}
+
+let compile t =
+  let n = Graph.n t.graph in
+  let fvhi = Array.make n 0 and fvlo = Array.make n 0 in
+  Array.iteri
+    (fun v id ->
+      fvhi.(v) <- Int64.to_int (Int64.shift_right_logical id 32);
+      fvlo.(v) <- Int64.to_int (Int64.logand id 0xFFFFFFFFL))
+    t.vids;
+  let ftoff = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    ftoff.(v + 1) <- ftoff.(v) + List.length t.tables.(v)
+  done;
+  let total = ftoff.(n) in
+  let fea = Array.make (max 1 total) (-1)
+  and feb = Array.make (max 1 total) (-1)
+  and fna = Array.make (max 1 total) (-1)
+  and fnb = Array.make (max 1 total) (-1) in
+  Array.iteri
+    (fun v entries ->
+      List.iteri
+        (fun i e ->
+          let j = ftoff.(v) + i in
+          fea.(j) <- e.ea;
+          feb.(j) <- e.eb;
+          fna.(j) <- e.next_a;
+          fnb.(j) <- e.next_b)
+        entries)
+    t.tables;
+  { fg = t.graph; fvhi; fvlo; ftoff; fea; feb; fna; fnb }
+
+let fast_prime (_ : fast) ~src:_ ~dst:_ = ()
+
+(* [best_endpoint]'s consider: ring_distance vids.(e) vids.(dst) in
+   unsigned halves (64-bit subtract with borrow, negate, unsigned min
+   with the typed tie rule), then strict unsigned improvement over the
+   best so far ([pis.(1)]=hi, [pis.(2)]=lo; candidate in [pis.(0)]). *)
+let fast_consider f (pkt : D.packet) u e =
+  if e <> u then begin
+    let ahi = f.fvhi.(e) and alo = f.fvlo.(e) in
+    let bhi = f.fvhi.(pkt.D.pdst) and blo = f.fvlo.(pkt.D.pdst) in
+    let slo = (blo - alo) land 0xFFFFFFFF in
+    let sbw = if blo < alo then 1 else 0 in
+    let shi = (bhi - ahi - sbw) land 0xFFFFFFFF in
+    let nlo = -slo land 0xFFFFFFFF in
+    let nbw = if slo > 0 then 1 else 0 in
+    let nhi = (-shi - nbw) land 0xFFFFFFFF in
+    let take_s = shi < nhi || (shi = nhi && slo <= nlo) in
+    let dhi = if take_s then shi else nhi in
+    let dlo = if take_s then slo else nlo in
+    if dhi < pkt.D.pis.(1) || (dhi = pkt.D.pis.(1) && dlo < pkt.D.pis.(2))
+    then begin
+      pkt.D.pis.(0) <- e;
+      pkt.D.pis.(1) <- dhi;
+      pkt.D.pis.(2) <- dlo
+    end
+  end
+
+let rec fast_scan_nbrs f pkt u i deg =
+  if i < deg then begin
+    fast_consider f pkt u (Graph.neighbor_at f.fg u i);
+    fast_scan_nbrs f pkt u (i + 1) deg
+  end
+
+let rec fast_scan_entries f pkt u j hi =
+  if j < hi then begin
+    fast_consider f pkt u f.fea.(j);
+    fast_consider f pkt u f.feb.(j);
+    fast_scan_entries f pkt u (j + 1) hi
+  end
+
+(* [next_toward] over the flattened tables: first entry whose endpoint
+   matches and whose stored next hop is not [u] (ea arm before eb arm,
+   list order); -1 when the corridor is broken. *)
+let rec fast_next_entry f u e j hi =
+  if j >= hi then -1
+  else if f.fea.(j) = e && f.fna.(j) <> u then f.fna.(j)
+  else if f.feb.(j) = e && f.fnb.(j) <> u then f.fnb.(j)
+  else fast_next_entry f u e (j + 1) hi
+
+let fast_step f (pkt : D.packet) u =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else if Graph.has_edge f.fg u dst then dst
+  else begin
+    let committed = if pkt.D.panchor = u then -1 else pkt.D.panchor in
+    pkt.D.pis.(0) <- -1;
+    pkt.D.pis.(1) <- pkt.D.pvb_hi;
+    pkt.D.pis.(2) <- pkt.D.pvb_lo;
+    fast_scan_nbrs f pkt u 0 (Graph.degree f.fg u);
+    fast_scan_entries f pkt u f.ftoff.(u) f.ftoff.(u + 1);
+    let best = pkt.D.pis.(0) in
+    let target = if best >= 0 then best else committed in
+    if target < 0 then D.fast_no_route
+    else begin
+      let hop =
+        if Graph.has_edge f.fg u target then target
+        else fast_next_entry f u target f.ftoff.(u) f.ftoff.(u + 1)
+      in
+      if hop < 0 then D.fast_no_route (* broken corridor *)
+      else if
+        target = pkt.D.panchor
+        && pkt.D.pis.(1) = pkt.D.pvb_hi
+        && pkt.D.pis.(2) = pkt.D.pvb_lo
+      then hop
+      else begin
+        pkt.D.panchor <- target;
+        pkt.D.pvb_hi <- pkt.D.pis.(1);
+        pkt.D.pvb_lo <- pkt.D.pis.(2);
+        hop
+      end
+    end
+  end
+
 let state_entries t =
   Array.mapi
     (fun v entries -> List.length entries + Graph.degree t.graph v)

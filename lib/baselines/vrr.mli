@@ -62,3 +62,17 @@ val setup_fallbacks : t -> int
 val ring_distance_ok : t -> bool
 (** Sanity invariant for tests: every node's vset equals its true ring
     neighborhood. *)
+
+(** {2 Compiled fast path} *)
+
+type fast
+(** Virtual ids as unsigned 32-bit halves and the entry lists flattened
+    into CSR arrays, for the zero-alloc walker (no Int64 on the hop
+    loop). *)
+
+val compile : t -> fast
+val fast_prime : fast -> src:int -> dst:int -> unit
+
+val fast_step : fast -> Disco_core.Dataplane.packet -> int -> int
+(** One zero-alloc decision, mirroring {!forward} exactly (same endpoint
+    scan order, same committed-endpoint/monotone-bound discipline). *)

@@ -37,6 +37,11 @@ type kind =
       (** the walker hit a protocol error: [forward] returned a
           non-neighbor, delivered away from the destination, or refused
           its own header *)
+  | Fastpath_divergence of { phase : string; src : int; dst : int; detail : string }
+      (** the compiled zero-alloc walk ([ROUTER.compile] + [fast_walk])
+          disagrees with the typed walk: different verdict, drop reason,
+          or hop sequence (typed loop detection aside — the fast walker
+          has none and must merely not deliver there) *)
 
 type t = { scheme : string; kind : kind }
 

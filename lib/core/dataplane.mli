@@ -125,3 +125,149 @@ val walk :
     make progress under a deterministic forward function. *)
 
 val pp_trace : Format.formatter -> trace -> unit
+
+(** {1 The zero-alloc fast path}
+
+    The batched counterpart of {!walk}: headers pre-encoded into reusable
+    [Bytes], in-flight state in one preallocated {!packet}, and per-scheme
+    {e compiled forwards} ({!fast_plan}) whose hop loop is array indexing
+    only.  {!walk} stays the oracle; disco-check's fast≡typed differential
+    holds both walkers to the same hop sequence and verdict, and the L7
+    lint plus [bench --figure alloc] hold this path to zero allocation
+    per hop. *)
+
+(** {2 Phase codes} — {!phase} as a small int on the wire. *)
+
+val mode_seek : int
+val mode_seek_tried : int
+val mode_steer : int
+val mode_steer_tried : int
+val mode_carry : int
+val mode_greedy : int
+val mode_fallback : int
+val mode_of_phase : phase -> int
+
+val phase_of_mode : int -> phase
+(** @raise Invalid_argument outside [0..6]. *)
+
+(** {2 Verdicts} — a compiled forward returns the next hop ([>= 0]) or: *)
+
+val fast_deliver : int
+val fast_no_route : int
+val fast_protocol : int
+
+(** {2 Drop codes} — why a fast walk ended ({!field-pdrop}). *)
+
+val drop_none : int
+val drop_ttl : int
+val drop_no_route : int
+val drop_protocol : int
+val drop_to_string : int -> string
+
+(** The reusable in-flight packet.  [proute.(proute_pos..proute_end)] is
+    the remaining explicit route as node ids; [pfs] is float scratch for
+    the compiled forwards with the BVR fallback bound at {!fs_fbound};
+    [pis] is int scratch; the VRR virtual bound is carried as two unsigned
+    32-bit halves ([pvb_hi], [pvb_lo]) so the hop loop never boxes an
+    Int64.  After a {!fast_walk}: [phops], [pdelivered], [pdrop]. *)
+type packet = {
+  mutable pdst : int;
+  mutable pmode : int;
+  mutable pway : int;
+  mutable panchor : int;
+  mutable pvb_hi : int;
+  mutable pvb_lo : int;
+  mutable pextra : int;
+  mutable proute_pos : int;
+  mutable proute_end : int;
+  mutable phops : int;
+  mutable pdelivered : bool;
+  mutable pdrop : int;
+  proute : int array;
+  pfs : float array;
+  pis : int array;
+}
+
+val fs_fbound : int
+(** [pfs] slot holding the BVR fallback re-entry bound. *)
+
+val packet_create : Graph.t -> packet
+(** A scratch packet sized for [g] (route capacity [2n + 8]). *)
+
+(** {2 Route-window helpers} (hot; used by the compiled forwards) *)
+
+val route_len : packet -> int
+val route_next : packet -> int
+(** Consume and return the next route label (node id). *)
+
+val route_fill_up : packet -> int array -> int -> int -> int
+(** [route_fill_up pkt parents u root]: load the labels of the tree path
+    [u ~> root] ([parents] pointing rootward), i.e.
+    [parents.(u); ...; root].  Returns the label count, or -1 on a broken
+    parent chain (route window untouched). *)
+
+val route_chain_ok : int array -> int -> int -> bool
+(** [route_chain_ok parents u root]: does the parent chain from [u] reach
+    [root]?  Probe before a fill that would replace a live route — the
+    fills scribble over [proute] as they walk. *)
+
+val route_fill_down : packet -> int array -> int -> int -> int
+(** [route_fill_down pkt parents root v]: load the labels of the descent
+    [root ~> v], i.e. [child-of-root; ...; v].  Returns the label count,
+    or -1 on a broken chain. *)
+
+(** {2 Wire codec} — fixed 33-byte header, then the explicit route as
+    packed neighbor-rank bits (the same §4.2 label accounting as
+    {!byte_size}).  Encoding is setup-time and may allocate;
+    {!decode_into} is the per-flow hot entry and is allocation-free. *)
+
+val header_fixed_bytes : int
+
+val encoded_size : Graph.t -> src:int -> header -> int
+(** Bytes {!encode_header} will write for [h] emitted at [src]. *)
+
+val encode_header : Graph.t -> src:int -> header -> Bytes.t -> pos:int -> int
+(** Encode [h] at [buf.(pos..)]; returns the encoded size.
+    @raise Invalid_argument on overflow or a label that is not a neighbor
+    of the node consuming it. *)
+
+val decode_into : Graph.t -> packet -> Bytes.t -> pos:int -> src:int -> unit
+(** Rehydrate [pkt] from wire bytes (allocation-free); [src] resolves the
+    neighbor-rank labels back to node ids and the walk counters reset. *)
+
+val decode_header : Graph.t -> src:int -> Bytes.t -> pos:int -> header
+(** Typed reconstruction of an encoded header (round-trip tests). *)
+
+val load_packet : packet -> header -> unit
+(** Load [pkt] straight from a typed header, skipping the wire. *)
+
+val float_of_bits_hl : int -> int -> float
+(** Exact IEEE-754 double from two unsigned 32-bit halves, without boxing
+    an Int64 (exposed for the codec tests). *)
+
+(** {2 The walker} *)
+
+(** A scheme's compiled face: [fstep pkt u] is the zero-alloc per-hop
+    decision; [fprime ~src ~dst] forces lazily-built node state for a
+    flow at setup time so the hop loop never fills a cache. *)
+type fast_plan = {
+  fstep : packet -> int -> int;
+  fprime : src:int -> dst:int -> unit;
+}
+
+val fast_walk :
+  Graph.t ->
+  step:(packet -> int -> int) ->
+  packet ->
+  src:int ->
+  ttl:int ->
+  trail:int array ->
+  unit
+(** Route one decoded packet from [src] under {!walk}'s contract (TTL
+    counts decisions; hops must be real links; Deliver away from the
+    destination is a protocol error; at [src = dst] the scheme decides
+    once).  No loop detection: an in-place cycle runs to TTL, which the
+    typed oracle reports as [Loop_detected] — the same non-delivery
+    verdict.  [trail] needs [ttl + 1] slots; [trail.(0..phops)] is the
+    hop sequence.  Results land in [pkt]: [pdelivered], [pdrop],
+    [phops]. *)

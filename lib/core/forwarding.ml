@@ -206,3 +206,326 @@ let later_header_nd (nd : Nddisco.t) ~src ~dst =
   match Vicinity.path nd.Nddisco.vicinity dst src with
   | Some p when src <> dst -> carry_header ~dst (List.rev p)
   | _ -> first_header_nd nd ~src ~dst
+
+(* ------------------------------------------------------------------ *)
+(* Compiled fast path: the node state the typed steps consult, flattened
+   into int/float arrays at compile time so the per-hop decision is array
+   indexing with zero allocation.  Vicinity views become one CSR
+   (members/dists/parents segments per node, members ascending — the same
+   order [Vicinity.view] exposes); landmark trees become parent rows
+   primed per flow; name hashes split into unsigned 32-bit halves so the
+   group tests never box an Int64. *)
+
+type fast = {
+  ffg : Graph.t;
+  fis_lm : bool array;
+  ftrees : Landmark_trees.t;
+  flm : int array array;  (* parent row per landmark; [||] = unprimed *)
+  fvoff : int array;  (* n+1 CSR offsets into the three segments below *)
+  fvmem : int array;
+  fvdist : float array;
+  fvpar : int array;
+  fghi : int array;  (* name-hash top/bottom 32 bits ([||] for NDDisco) *)
+  fglo : int array;
+  fgbits : int array;  (* per-node group prefix width *)
+  fowner : int array;  (* resolution owner per node ([||] for NDDisco) *)
+  falm : int array;  (* address landmark per node *)
+  faroute : int array array;  (* address node path [lm; ...; v] *)
+}
+
+let compile_nd (nd : Nddisco.t) =
+  let g = nd.Nddisco.graph in
+  let n = Graph.n g in
+  Vicinity.precompute_all nd.Nddisco.vicinity;
+  let fvoff = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let vw = Vicinity.view nd.Nddisco.vicinity v in
+    fvoff.(v + 1) <- fvoff.(v) + Array.length vw.Vicinity.members
+  done;
+  let total = fvoff.(n) in
+  let fvmem = Array.make total 0 in
+  let fvdist = Array.make total 0.0 in
+  let fvpar = Array.make total 0 in
+  for v = 0 to n - 1 do
+    let vw = Vicinity.view nd.Nddisco.vicinity v in
+    let len = Array.length vw.Vicinity.members in
+    Array.blit vw.Vicinity.members 0 fvmem fvoff.(v) len;
+    Array.blit vw.Vicinity.dists 0 fvdist fvoff.(v) len;
+    Array.blit vw.Vicinity.parents 0 fvpar fvoff.(v) len
+  done;
+  {
+    ffg = g;
+    fis_lm = nd.Nddisco.landmarks.Landmarks.is_landmark;
+    ftrees = nd.Nddisco.trees;
+    flm = Array.make n [||];
+    fvoff;
+    fvmem;
+    fvdist;
+    fvpar;
+    fghi = [||];
+    fglo = [||];
+    fgbits = [||];
+    fowner = [||];
+    falm = Array.init n (fun v -> (Nddisco.address nd v).Address.landmark);
+    faroute = Array.init n (fun v -> (Nddisco.address nd v).Address.route);
+  }
+
+let compile (d : Disco.t) =
+  let nd = d.Disco.nd in
+  let base = compile_nd nd in
+  let n = Graph.n nd.Nddisco.graph in
+  let fghi = Array.make n 0 in
+  let fglo = Array.make n 0 in
+  let fgbits = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let h = nd.Nddisco.hashes.(v) in
+    fghi.(v) <- Int64.to_int (Int64.shift_right_logical h 32);
+    fglo.(v) <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
+    fgbits.(v) <- Groups.bits_of d.Disco.groups v
+  done;
+  { base with fghi; fglo; fgbits; fowner = Resolution.owners_by_node d.Disco.resolution }
+
+let fast_prime_lm f lm =
+  if Array.length f.flm.(lm) = 0 then
+    f.flm.(lm) <- Landmark_trees.parents f.ftrees ~lm
+
+let fast_prime_nd f ~src:_ ~dst = if f.fis_lm.(dst) then fast_prime_lm f dst
+
+let fast_prime f ~src:_ ~dst =
+  if f.fis_lm.(dst) then fast_prime_lm f dst
+  else begin
+    fast_prime_lm f f.falm.(dst);
+    fast_prime_lm f f.fowner.(dst)
+  end
+
+(* [w]'s index in V(v)'s CSR segment (global index), or -1. *)
+let rec vseg_search f w lo hi =
+  if lo > hi then -1
+  else begin
+    let mid = (lo + hi) / 2 in
+    let m = f.fvmem.(mid) in
+    if m = w then mid
+    else if m < w then vseg_search f w (mid + 1) hi
+    else vseg_search f w lo (mid - 1)
+  end
+
+let vseg_find f v w = vseg_search f w f.fvoff.(v) (f.fvoff.(v + 1) - 1)
+
+(* Label count of the vicinity path [v ~> x] with [x] already counted in
+   [acc]; -1 when the view does not resolve it — exactly the cases where
+   [Vicinity.path] returns None. *)
+let rec vchain_len f v x acc =
+  let j = vseg_find f v x in
+  if j < 0 then -1
+  else begin
+    let p = f.fvpar.(j) in
+    if p = v then acc else vchain_len f v p (acc + 1)
+  end
+
+let rec vfill_back f (pkt : D.packet) v x i =
+  pkt.D.proute.(i) <- x;
+  if i > 0 then vfill_back f pkt v f.fvpar.(vseg_find f v x) (i - 1)
+
+(* Load the [c] labels of the vicinity path [v ~> w] (probed first with
+   [vchain_len]) into the route window. *)
+let vfill f pkt v w c =
+  vfill_back f pkt v w (c - 1);
+  pkt.D.proute_pos <- 0;
+  pkt.D.proute_end <- c
+
+(* The zero-alloc mirror of [local_route] + [carry_along]: load the node's
+   direct route to [dst] into the route window.  Returns the label count
+   (>= 1, window loaded), 0 (no local route, window untouched), or -1
+   where the typed path raises (broken or unprimed landmark tree). *)
+let local_fill f pkt u dst =
+  if f.fis_lm.(dst) then begin
+    let parents = f.flm.(dst) in
+    if Array.length parents = 0 then -1
+    else begin
+      let c = D.route_fill_up pkt parents u dst in
+      if c < 1 then -1 else c
+    end
+  end
+  else begin
+    let c = vchain_len f u dst 1 in
+    if c < 1 then 0
+    else begin
+      vfill f pkt u dst c;
+      c
+    end
+  end
+
+(* [address_route] as a fill: the landmark-tree leg [u ~> l_dst] then the
+   address labels.  Returns the label count or -1 (typed raise). *)
+let addr_fill f (pkt : D.packet) u dst =
+  let lm = f.falm.(dst) in
+  let route = f.faroute.(dst) in
+  let hops = Array.length route - 1 in
+  if u = lm then begin
+    Array.blit route 1 pkt.D.proute 0 hops;
+    pkt.D.proute_pos <- 0;
+    pkt.D.proute_end <- hops;
+    hops
+  end
+  else begin
+    let parents = f.flm.(lm) in
+    if Array.length parents = 0 then -1
+    else begin
+      let c = D.route_fill_up pkt parents u lm in
+      if c < 0 then -1
+      else begin
+        Array.blit route 1 pkt.D.proute pkt.D.proute_end hops;
+        pkt.D.proute_end <- pkt.D.proute_end + hops;
+        c + hops
+      end
+    end
+  end
+
+(* Group tests over the hash halves (prefix widths are <= 30 < 32, so the
+   prefix always lives in the top half). *)
+let fd_prefix f v width = if width = 0 then 0 else f.fghi.(v) lsr (32 - width)
+
+let fd_believes f v w =
+  let b = f.fgbits.(v) in
+  b = 0 || fd_prefix f w b = fd_prefix f v b
+
+let fd_same_group f v w = fd_believes f v w && fd_believes f w v
+
+let rec clz32_from x i =
+  if i >= 32 then 32 else if (x lsr (31 - i)) land 1 = 1 then i else clz32_from x (i + 1)
+
+(* [Hash_space.common_prefix_len] over the halves. *)
+let fd_cpl f a b =
+  let xh = f.fghi.(a) lxor f.fghi.(b) in
+  if xh <> 0 then clz32_from xh 0
+  else begin
+    let xl = f.fglo.(a) lxor f.fglo.(b) in
+    if xl = 0 then 64 else 32 + clz32_from xl 0
+  end
+
+(* [best_group_proxy]'s scan over V(u)'s CSR segment: best proxy id in
+   [pis.(1)], its prefix length in [pis.(2)], its distance in [pfs.(1)];
+   same order (members ascending) and tie rule as the typed fold. *)
+let rec proxy_scan f (pkt : D.packet) dst i stop =
+  if i < stop then begin
+    let w = f.fvmem.(i) in
+    if w <> dst then begin
+      let len = fd_cpl f w dst in
+      let d = f.fvdist.(i) in
+      if len > pkt.D.pis.(2) || (len = pkt.D.pis.(2) && d < pkt.D.pfs.(1)) then begin
+        pkt.D.pis.(1) <- w;
+        pkt.D.pis.(2) <- len;
+        pkt.D.pfs.(1) <- d
+      end
+    end;
+    proxy_scan f pkt dst (i + 1) stop
+  end
+
+(* The step machine, decision-for-decision the typed [seek_step] /
+   [resolution_step] / [steer_step] / [carry_step].  The only intended
+   divergence: a Carry divert whose direct route equals the remaining
+   labels is taken here and consumed by the typed step — same next hop,
+   same remaining labels, so the walks cannot differ. *)
+let rec fd_seek f (pkt : D.packet) u tried =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else begin
+    let c = local_fill f pkt u dst in
+    if c >= 1 then begin
+      pkt.D.pmode <- D.mode_carry;
+      pkt.D.pway <- -1;
+      D.route_next pkt
+    end
+    else if c < 0 then D.fast_protocol
+    else if fd_same_group f u dst then fd_addr_carry f pkt u dst
+    else if not tried then begin
+      pkt.D.pis.(1) <- -1;
+      pkt.D.pis.(2) <- -1;
+      pkt.D.pfs.(1) <- infinity;
+      proxy_scan f pkt dst f.fvoff.(u) f.fvoff.(u + 1);
+      let w = pkt.D.pis.(1) in
+      if w >= 0 && fd_same_group f w dst then begin
+        if w = u then fd_resolution f pkt u dst
+        else begin
+          let cw = vchain_len f u w 1 in
+          if cw >= 1 then begin
+            vfill f pkt u w cw;
+            pkt.D.pmode <- D.mode_steer_tried;
+            pkt.D.pway <- w;
+            D.route_next pkt
+          end
+          else D.fast_no_route
+        end
+      end
+      else fd_resolution f pkt u dst
+    end
+    else fd_resolution f pkt u dst
+  end
+
+and fd_addr_carry f (pkt : D.packet) u dst =
+  let c = addr_fill f pkt u dst in
+  if c < 0 then D.fast_protocol
+  else if c = 0 then D.fast_no_route
+  else begin
+    pkt.D.pmode <- D.mode_carry;
+    pkt.D.pway <- -1;
+    D.route_next pkt
+  end
+
+and fd_resolution f (pkt : D.packet) u dst =
+  let owner = f.fowner.(dst) in
+  if u = owner then fd_addr_carry f pkt u dst
+  else begin
+    let parents = f.flm.(owner) in
+    if Array.length parents = 0 then D.fast_protocol
+    else begin
+      let c = D.route_fill_up pkt parents u owner in
+      if c < 1 then D.fast_protocol
+      else begin
+        pkt.D.pmode <- D.mode_steer_tried;
+        pkt.D.pway <- owner;
+        D.route_next pkt
+      end
+    end
+  end
+
+and fd_steer f (pkt : D.packet) u tried =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else if D.route_len pkt = 0 then begin
+    pkt.D.pway <- -1;
+    fd_seek f pkt u tried
+  end
+  else begin
+    let c = local_fill f pkt u dst in
+    if c >= 1 then begin
+      pkt.D.pmode <- D.mode_carry;
+      pkt.D.pway <- -1;
+      D.route_next pkt
+    end
+    else if c < 0 then D.fast_protocol
+    else D.route_next pkt
+  end
+
+and fd_carry f (pkt : D.packet) u =
+  let dst = pkt.D.pdst in
+  if u = dst then D.fast_deliver
+  else begin
+    let c = local_fill f pkt u dst in
+    if c >= 1 then D.route_next pkt
+    else if c < 0 then D.fast_protocol
+    else if D.route_len pkt > 0 then D.route_next pkt
+    else D.fast_no_route
+  end
+
+let fast_step f (pkt : D.packet) u =
+  let m = pkt.D.pmode in
+  if m = D.mode_seek then fd_seek f pkt u false
+  else if m = D.mode_seek_tried then fd_seek f pkt u true
+  else if m = D.mode_steer then fd_steer f pkt u false
+  else if m = D.mode_steer_tried then fd_steer f pkt u true
+  else if m = D.mode_carry then fd_carry f pkt u
+  else D.fast_protocol
+
+let fast_step_nd f (pkt : D.packet) u =
+  if pkt.D.pmode = D.mode_carry then fd_carry f pkt u else D.fast_protocol

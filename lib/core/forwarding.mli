@@ -71,3 +71,29 @@ val pp_trace : Format.formatter -> trace -> unit
 val forward_nd : Nddisco.t -> Dataplane.header -> at:int -> Dataplane.decision
 val first_header_nd : Nddisco.t -> src:int -> dst:int -> Dataplane.header
 val later_header_nd : Nddisco.t -> src:int -> dst:int -> Dataplane.header
+
+(** {2 Compiled fast path}
+
+    The zero-alloc face of {!forward}/{!forward_nd}: vicinity views
+    flattened into one CSR, landmark trees as parent rows primed per
+    flow, name hashes as unsigned 32-bit halves.  {!fast_step} mirrors
+    the typed steps decision for decision (disco-check's fast≡typed
+    differential holds them to the same hop sequence and verdict). *)
+
+type fast
+
+val compile : Disco.t -> fast
+val compile_nd : Nddisco.t -> fast
+
+val fast_prime : fast -> src:int -> dst:int -> unit
+(** Force the landmark parent rows a flow to [dst] can touch: the
+    destination itself when it is a landmark, else its address landmark
+    and its resolution owner. *)
+
+val fast_prime_nd : fast -> src:int -> dst:int -> unit
+
+val fast_step : fast -> Dataplane.packet -> int -> int
+(** One zero-alloc Disco decision (Seek/Steer/Carry machine). *)
+
+val fast_step_nd : fast -> Dataplane.packet -> int -> int
+(** One zero-alloc NDDisco decision (pure Carry machine). *)

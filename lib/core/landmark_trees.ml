@@ -32,5 +32,6 @@ let path_from t ~lm v =
     ~src:lm ~dst:v
 
 let path_to t v ~lm = List.rev (path_from t ~lm v)
+let parents t ~lm = (tree t lm).Dijkstra.parent
 
 let cached_count t = Pool.Memo.length t.cache

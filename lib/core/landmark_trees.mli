@@ -20,4 +20,10 @@ val path_to : t -> int -> lm:int -> int list
 (** Shortest path [v; ...; lm]: the reverse walk (§6 notes Disco relies on
     route reversibility). *)
 
+val parents : t -> lm:int -> int array
+(** The tree's parent array (predecessor on the path from [lm]; -1 at the
+    root and at unreachable nodes).  Forces the tree.  The compiled fast
+    paths flatten landmark routes through this: following parents from [v]
+    reads off [path_to v ~lm] without allocating. *)
+
 val cached_count : t -> int

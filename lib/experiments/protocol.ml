@@ -25,6 +25,7 @@ module type ROUTER = sig
 
   val state_entries : t -> int -> int
   val fork : t -> t
+  val compile : t -> Dataplane.fast_plan
 end
 
 type packed = (module ROUTER)

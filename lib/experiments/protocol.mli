@@ -95,6 +95,14 @@ module type ROUTER = sig
       accounting) is local to each {!Walk} call, never stored on [t].
       Forked handles feed the parallel engine ({!Engine.run});
       [state_entries] is only called on the original. *)
+
+  val compile : t -> Disco_core.Dataplane.fast_plan
+  (** The scheme's zero-alloc face: node-local state flattened into int
+      arrays so [fstep] is array indexing with no allocation per hop
+      ({!Disco_core.Dataplane.fast_walk} runs it).  [fprime ~src ~dst]
+      forces any lazily-built per-flow state at setup time.  The typed
+      {!forward} stays the oracle: disco-check's fast≡typed differential
+      holds the two walkers to the same hop sequence and verdict. *)
 end
 
 type packed = (module ROUTER)

@@ -42,6 +42,10 @@ module Disco_router = struct
 
   (* Routing only reads converged state. *)
   let fork t = t
+
+  let compile t =
+    let f = Core.Forwarding.compile t in
+    { D.fstep = Core.Forwarding.fast_step f; D.fprime = Core.Forwarding.fast_prime f }
 end
 
 module Nddisco_router = struct
@@ -81,6 +85,13 @@ module Nddisco_router = struct
       (Core.Nddisco.state_entries ~resolution_entries t.nd v)
 
   let fork t = t
+
+  let compile t =
+    let f = Core.Forwarding.compile_nd t.nd in
+    {
+      D.fstep = Core.Forwarding.fast_step_nd f;
+      D.fprime = Core.Forwarding.fast_prime_nd f;
+    }
 end
 
 module S4_router = struct
@@ -115,6 +126,10 @@ module S4_router = struct
       ~resolution_loads:t.resolution_loads v
 
   let fork t = t
+
+  let compile t =
+    let f = S4.compile t.s4 in
+    { D.fstep = S4.fast_step f; D.fprime = S4.fast_prime f }
 end
 
 module Vrr_router = struct
@@ -140,6 +155,10 @@ module Vrr_router = struct
   let oracle_later = oracle_first
   let state_entries t v = t.state.(v)
   let fork t = t
+
+  let compile t =
+    let f = Vrr.compile t.vrr in
+    { D.fstep = Vrr.fast_step f; D.fprime = Vrr.fast_prime f }
 end
 
 module Bvr_router = struct
@@ -164,6 +183,10 @@ module Bvr_router = struct
   let oracle_later = oracle_first
   let state_entries t v = Bvr.state_entries t v
   let fork t = t
+
+  let compile t =
+    let f = Bvr.compile t in
+    { D.fstep = Bvr.fast_step f; D.fprime = Bvr.fast_prime f }
 end
 
 module Seattle_router = struct
@@ -185,6 +208,10 @@ module Seattle_router = struct
   let oracle_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
   let state_entries t v = Seattle.state_entries t v
   let fork t = t
+
+  let compile t =
+    let f = Seattle.compile t in
+    { D.fstep = Seattle.fast_step f; D.fprime = Seattle.fast_prime f }
 end
 
 module Tz_router = struct
@@ -206,6 +233,10 @@ module Tz_router = struct
   let oracle_later = oracle_first
   let state_entries t v = Tz.state t v
   let fork t = t
+
+  let compile t =
+    let f = Tz.compile t in
+    { D.fstep = Tz.fast_step f; D.fprime = Tz.fast_prime f }
 end
 
 module Pathvector_router = struct
@@ -294,6 +325,17 @@ module Pathvector_router = struct
       cached_src = -1;
       sp = None;
     }
+
+  (* The whole route travels as labels, so the compiled forward is the
+     pure label-consumption machine; nothing is lazily built per flow
+     (headers come from the source's SSSP memo at setup time). *)
+  let fast_step (_ : t) (pkt : D.packet) u =
+    if u = pkt.D.pdst then D.fast_deliver
+    else if pkt.D.pmode <> D.mode_carry then D.fast_protocol
+    else if D.route_len pkt > 0 then D.route_next pkt
+    else D.fast_no_route
+
+  let compile t = { D.fstep = fast_step t; D.fprime = (fun ~src:_ ~dst:_ -> ()) }
 end
 
 let () =

@@ -84,6 +84,11 @@ let fold_neighbors t u ~init ~f =
   iter_neighbors t u (fun v w -> acc := f !acc v w);
   !acc
 
+(* The fast-path variant of [nth_neighbor]: no bounds check, no weight,
+   no tuple — the compiled walkers decode forwarding labels with this on
+   every hop, so it must stay off the minor heap (lint L7). *)
+let neighbor_at t u i = t.col.(t.row.(u) + i)
+
 let nth_neighbor t u i =
   if i < 0 || i >= degree t u then invalid_arg "Graph.nth_neighbor";
   let j = t.row.(u) + i in

@@ -45,6 +45,12 @@ val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
 
 val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
 
+val neighbor_at : t -> int -> int -> int
+(** [neighbor_at g u i] is the node reached by forwarding label [i] at
+    [u] — {!nth_neighbor} without the weight, the bounds check or the
+    tuple. The fast path's label decoder runs this per hop, so it is
+    allocation-free (lint L7); the caller owns the range check. *)
+
 val nth_neighbor : t -> int -> int -> int * float
 (** [nth_neighbor g u i] is the [i]-th neighbor (the node reached by
     forwarding label [i] at [u]).

@@ -26,12 +26,31 @@ let forward_of_scheme =
     ("pathvector", "Disco_experiments.Routers.Pathvector_router.forward");
   ]
 
+(* One entry per registered scheme's {e compiled} forward — the zero-alloc
+   face behind [Protocol.ROUTER.compile].  Unlike the typed forwards these
+   admit no per-hop allocation waivers: L7 findings here are build
+   breaks.  test_lint_typed pins this list against Routers.names () too. *)
+let fast_of_scheme =
+  [
+    ("disco", "Disco_core.Forwarding.fast_step");
+    ("nddisco", "Disco_core.Forwarding.fast_step_nd");
+    ("s4", "Disco_baselines.S4.fast_step");
+    ("vrr", "Disco_baselines.Vrr.fast_step");
+    ("bvr", "Disco_baselines.Bvr.fast_step");
+    ("seattle", "Disco_baselines.Seattle.fast_step");
+    ("tz", "Disco_baselines.Tz_hierarchy.fast_step");
+    ("pathvector", "Disco_experiments.Routers.Pathvector_router.fast_step");
+  ]
+
 (* Hot functions that are not a scheme forward: the hop-by-hop walker, the
    name digests, and the CSR accessors every per-hop decision touches. *)
 let extras =
   [
     "Disco_core.Dataplane.walk";
     "Disco_core.Dataplane.byte_size";
+    "Disco_core.Dataplane.fast_walk";
+    "Disco_core.Dataplane.decode_into";
+    "Disco_graph.Graph.neighbor_at";
     "Disco_hash.Fnv.hash";
     "Disco_hash.Fnv.hash_with_seed";
     "Disco_hash.Sha256.digest";
@@ -82,6 +101,7 @@ let key name =
   go 0;
   Buffer.contents buf
 
-let hot_names () = extras @ List.map snd forward_of_scheme
+let hot_names () =
+  extras @ List.map snd forward_of_scheme @ List.map snd fast_of_scheme
 let hot_keys () = List.map key (hot_names ())
 let task_api_keys () = List.map key task_apis

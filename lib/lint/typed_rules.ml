@@ -95,6 +95,9 @@ let alloc_free_externals =
     "+"; "-"; "*"; "/"; "mod"; "abs"; "land"; "lor"; "lxor"; "lnot"; "lsl";
     "lsr"; "asr"; "succ"; "pred"; "+."; "-."; "*."; "/."; "**"; "~-"; "~-.";
     "~+"; "~+."; "sqrt"; "exp"; "log"; "floor"; "ceil"; "min"; "max";
+    (* unboxed [@@noalloc] external: exact mantissa/exponent reassembly in
+       the fast-path float decoder *)
+    "ldexp";
     "float_of_int"; "int_of_float"; "truncate"; "float"; "int_of_char";
     "char_of_int"; "not"; "&&"; "||"; "&"; "or";
     (* comparison *)

@@ -72,6 +72,18 @@ module Detour_router = struct
 
   let state_entries _ _ = 0
   let fork t = { t with ws = Dijkstra.make_workspace t.graph }
+
+  (* Same order as [forward]: consume labels before the deliver check, so
+     the detour bounce is walked in full on the fast path too. *)
+  let compile _t =
+    {
+      D.fstep =
+        (fun (pkt : D.packet) u ->
+          if D.route_len pkt > 0 then D.route_next pkt
+          else if u = pkt.D.pdst then D.fast_deliver
+          else D.fast_no_route);
+      D.fprime = (fun ~src:_ ~dst:_ -> ());
+    }
 end
 
 let detour_spec =

@@ -19,6 +19,12 @@ module Scenario = Disco_check.Scenario
 module Spec = Disco_check.Spec
 module Runner = Disco_check.Runner
 module Violation = Disco_check.Violation
+module Harness = Disco_check.Harness
+module Protocol = Disco_experiments.Protocol
+module Routers = Disco_experiments.Routers
+module Testbed = Disco_experiments.Testbed
+module Graph = Disco_graph.Graph
+module Dijkstra = Disco_graph.Dijkstra
 
 let scenario_exn desc =
   match Scenario.of_string desc with
@@ -69,9 +75,149 @@ let test_miscalibrated_bound_is_convicted () =
   Alcotest.(check bool) "s4 first-packet stretch > 3 detected" true
     s4_first_violation
 
+(* --- fast≡typed differential regressions ---------------------------------
+
+   The fastpath differential (Spec.fastpath) re-routes every sampled pair
+   through the wire codec and the compiled forward and demands the typed
+   walk's exact hop sequence and verdict.  Pinned both ways, like the S4
+   bound above: scenarios that exercise the differential on the real
+   registry stay green, and a router whose compiled face diverges from
+   its typed forward is convicted, shrunk, and the shrunk scenario is
+   pinned by its exact textual form. *)
+
+(* Scenarios replayed on the full registry; all specs have
+   [fastpath = true], so each of these runs the differential across all
+   eight schemes (families chosen to reach seek/steer/resolution modes). *)
+let pinned_fastpath =
+  [
+    "seed=1150299863866387076,family=gnm,n=16,pairs=16,workload=uniform,churn=0";
+    "seed=1905278406105126106,family=geometric,n=17,pairs=6,workload=uniform,churn=0";
+  ]
+
+let test_pinned_fastpath_green () =
+  List.iter
+    (fun desc ->
+      let outcome = Runner.run (scenario_exn desc) in
+      if Runner.failed outcome then
+        Alcotest.failf "pinned fastpath scenario regressed: %s\n%s" desc
+          (String.concat "\n"
+             (List.map Violation.describe outcome.Runner.violations)))
+    pinned_fastpath
+
+(* An honest typed carry router whose compiled face drops the final
+   label: the fast walk stops one hop short of every delivery.  Only the
+   fastpath differential can see this — oracle, stretch and walk checks
+   all pass. *)
+module Lame_fast_router = struct
+  module D = Disco_core.Dataplane
+
+  type t = { graph : Graph.t; ws : Dijkstra.workspace }
+
+  let name = "lamefast"
+  let flat_names = "test fixture"
+
+  let build (tb : Testbed.t) =
+    let graph = tb.Testbed.graph in
+    { graph; ws = Dijkstra.make_workspace graph }
+
+  let shortest t ~src ~dst =
+    let sp = Dijkstra.sssp ~ws:t.ws t.graph src in
+    if sp.Dijkstra.dist.(dst) = infinity then None
+    else
+      Some
+        (Dijkstra.path_of_parents
+           ~parent:(fun v -> sp.Dijkstra.parent.(v))
+           ~src ~dst)
+
+  let oracle_first t ~tel:_ ~src ~dst = shortest t ~src ~dst
+  let oracle_later t ~tel:_ ~src ~dst = shortest t ~src ~dst
+  let ttl_factor = 4
+
+  let header_of ~dst = function
+    | Some (_ :: rest) -> { (D.plain ~dst D.Carry) with D.labels = rest }
+    | _ -> D.plain ~dst D.Carry
+
+  let first_header t ~tel:_ ~src ~dst = header_of ~dst (shortest t ~src ~dst)
+  let later_header t ~tel:_ ~src ~dst = header_of ~dst (shortest t ~src ~dst)
+
+  let forward _ (h : D.header) ~at:u =
+    match h.D.labels with
+    | next :: rest -> D.Rewrite ({ h with D.labels = rest }, next, D.Label_hop)
+    | [] -> if u = h.D.dst then D.Deliver else D.Drop D.No_route
+
+  let state_entries _ _ = 0
+  let fork t = { t with ws = Dijkstra.make_workspace t.graph }
+
+  let compile _t =
+    {
+      D.fstep =
+        (fun (pkt : D.packet) u ->
+          if D.route_len pkt > 1 then D.route_next pkt
+          else if u = pkt.D.pdst then D.fast_deliver
+          else D.fast_no_route);
+      D.fprime = (fun ~src:_ ~dst:_ -> ());
+    }
+end
+
+let lame_routers () =
+  [
+    Routers.find_exn "pathvector";
+    (module Lame_fast_router : Protocol.ROUTER);
+  ]
+
+(* The shrunk counterexample the harness reports for run_seed 11 — the
+   smallest scenario the shrinker reaches must stay put, so the
+   differential's shrinking path is covered end to end. *)
+let pinned_lame_shrunk =
+  "seed=1458419845239409703,family=gnm,n=16,pairs=1,workload=uniform,churn=0"
+
+let test_divergent_compile_convicted () =
+  let routers = lame_routers () in
+  let s = Harness.run_cases ~routers ~run_seed:11 ~cases:3 ~max_nodes:32 () in
+  Alcotest.(check bool) "run fails" false (Harness.passed s);
+  let cx =
+    match s.Harness.counterexamples with
+    | [] -> Alcotest.fail "no counterexample reported"
+    | cx :: _ -> cx
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check string) "convicted scheme" "lamefast" v.Violation.scheme;
+      match v.Violation.kind with
+      | Violation.Fastpath_divergence _ -> ()
+      | k ->
+          Alcotest.failf "unexpected violation kind %s"
+            (Violation.describe { v with Violation.kind = k }))
+    cx.Harness.violations;
+  Alcotest.(check string) "shrunk scenario pinned" pinned_lame_shrunk
+    (Scenario.to_string cx.Harness.minimized)
+
+let test_pinned_lame_shrunk_still_fails () =
+  let outcome = Runner.run ~routers:(lame_routers ()) (scenario_exn pinned_lame_shrunk) in
+  Alcotest.(check bool) "pinned shrunk scenario convicts" true
+    (Runner.failed outcome);
+  Alcotest.(check bool) "as a fastpath divergence" true
+    (List.exists
+       (fun v ->
+         match v.Violation.kind with
+         | Violation.Fastpath_divergence _ ->
+             String.equal v.Violation.scheme "lamefast"
+         | _ -> false)
+       outcome.Runner.violations);
+  (* The honest registry passes the very same scenario. *)
+  let clean = Runner.run (scenario_exn pinned_lame_shrunk) in
+  Alcotest.(check bool) "registry clean on the same scenario" false
+    (Runner.failed clean)
+
 let suite =
   [
     Alcotest.test_case "pinned scenarios stay green" `Quick test_pinned_scenarios_pass;
     Alcotest.test_case "miscalibrated S4 bound convicted" `Quick
       test_miscalibrated_bound_is_convicted;
+    Alcotest.test_case "pinned fastpath scenarios stay green" `Quick
+      test_pinned_fastpath_green;
+    Alcotest.test_case "divergent compile convicted and shrunk" `Quick
+      test_divergent_compile_convicted;
+    Alcotest.test_case "pinned shrunk fastpath scenario" `Quick
+      test_pinned_lame_shrunk_still_fails;
   ]

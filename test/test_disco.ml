@@ -34,6 +34,8 @@ let () =
       ("forwarding", Test_forwarding.suite);
       ("dataplane-differential", Test_dataplane_differential.suite);
       ("header", Test_header.suite);
+      ("wire-codec", Test_wire_codec.suite);
+      ("throughput", Test_throughput.suite);
       ("s4", Test_s4.suite);
       ("vrr", Test_vrr.suite);
       ("tz-hierarchy", Test_tz_hierarchy.suite);

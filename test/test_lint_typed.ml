@@ -62,6 +62,22 @@ let manifest_pins_registry () =
     "one manifest forward per registered scheme" schemes manifest;
   Alcotest.(check int) "eight registered schemes" 8 (List.length schemes)
 
+let manifest_pins_fast_registry () =
+  (* The compiled face carries the same discipline: every registered
+     scheme must name its fast_step on the hot manifest, so a scheme
+     gaining [compile] without the alloc proof fails here. *)
+  let schemes = List.sort String.compare (Disco_experiments.Routers.names ()) in
+  let manifest =
+    List.sort String.compare (List.map fst Lint.Hot_manifest.fast_of_scheme)
+  in
+  Alcotest.(check (list string))
+    "one manifest fast step per registered scheme" schemes manifest;
+  List.iter
+    (fun (_, path) ->
+      Alcotest.(check bool) (path ^ " names a fast step") true
+        (Option.is_some (Lint.Waivers.find_sub path "fast_step")))
+    Lint.Hot_manifest.fast_of_scheme
+
 let typed_catalogue_sane () =
   let ids = List.map (fun r -> r.Lint.Rules.id) Lint.Typed_rules.catalogue in
   Alcotest.(check (list string)) "typed rules" [ "L7"; "L8"; "L9"; "H0" ] ids
@@ -73,6 +89,7 @@ let suite =
     test "L7 quiet on clean hot code" (quiet "l7_neg.ml");
     test "L7 waiver suppresses the finding" (quiet "l7_waived.ml");
     test "L7 crosses function boundaries" (fires "L7" "l7_trans.ml");
+    test "L7 fires on an allocating fast step" (fires "L7" "l7_fastpath_pos.ml");
     test "L7 transitive finding blames the helper" transitive_names_chain;
     test "L9 fires on raising hot code" (fires "L9" "l9_pos.ml");
     test "L9 quiet when wrapped in try" (quiet "l9_neg.ml");
@@ -80,5 +97,6 @@ let suite =
     test "L8 quiet under Pool.Memo / task-local state" (quiet "l8_neg.ml");
     test "positives are errors" every_positive_is_error;
     test "manifest pins the router registry" manifest_pins_registry;
+    test "manifest pins the fast registry" manifest_pins_fast_registry;
     test "typed catalogue sane" typed_catalogue_sane;
   ]

@@ -1,0 +1,171 @@
+(* The throughput figure's engine at toy scale: `bench --figure
+   throughput --json` must emit well-formed JSON naming all eight
+   registered schemes, and the timed loop it reports on must actually
+   route (hops > 0, packets = flows * reps) without per-hop allocation.
+   Runs from `dune runtest` so the bench path cannot rot between bench
+   invocations. *)
+
+module Fastwalk = Disco_experiments.Fastwalk
+module Routers = Disco_experiments.Routers
+
+let rows = lazy (Fastwalk.measure ~seed:42 ~n:48 ~flows:8 ~reps:2)
+let json = lazy (Fastwalk.json_of_rows ~seed:42 ~n:48 ~flows:8 ~reps:2 (Lazy.force rows))
+
+(* Minimal recursive-descent JSON well-formedness check (objects, arrays,
+   strings with escapes, numbers, literals) — no external parser dep. *)
+let json_well_formed s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then incr pos else fail () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some ('t' | 'f' | 'n') -> literal ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            elements ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elements ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec chars () =
+      if !pos >= len then fail ();
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          pos := !pos + 2;
+          chars ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ ->
+          incr pos;
+          chars ()
+    in
+    chars ()
+  and number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let start = !pos in
+      while !pos < len && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then fail ()
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ())
+  and literal () =
+    let kw w =
+      let l = String.length w in
+      if !pos + l <= len && String.equal (String.sub s !pos l) w then
+        pos := !pos + l
+      else fail ()
+    in
+    match peek () with
+    | Some 't' -> kw "true"
+    | Some 'f' -> kw "false"
+    | _ -> kw "null"
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = len
+  with Exit -> false
+
+let test_json_well_formed () =
+  Alcotest.(check bool) "parses end to end" true (json_well_formed (Lazy.force json))
+
+let test_all_schemes_present () =
+  let j = Lazy.force json in
+  List.iter
+    (fun scheme ->
+      let needle = Printf.sprintf "\"scheme\": \"%s\"" scheme in
+      Alcotest.(check bool) (scheme ^ " in JSON") true
+        (Option.is_some (Lint.Waivers.find_sub j needle)))
+    (Routers.names ());
+  Alcotest.(check int) "two rows per scheme" (2 * List.length (Routers.names ()))
+    (List.length (Lazy.force rows))
+
+let test_rows_routed () =
+  List.iter
+    (fun (r : Fastwalk.row) ->
+      let tag what = Printf.sprintf "%s/%s %s" r.Fastwalk.scheme r.Fastwalk.kind what in
+      Alcotest.(check int) (tag "packets = flows * reps") (8 * 2) r.Fastwalk.packets;
+      Alcotest.(check bool) (tag "routed some hops") true (r.Fastwalk.hops > 0);
+      Alcotest.(check bool) (tag "delivered something") true (r.Fastwalk.delivered > 0);
+      (* The zero-alloc contract, at runtime: the timed loop may not
+         allocate per hop (tiny constant slack for the measurement
+         scaffolding itself). *)
+      Alcotest.(check bool) (tag "allocation-free hop loop") true
+        (r.Fastwalk.minor_words < 64.0))
+    (Lazy.force rows)
+
+let test_kinds_and_order () =
+  let expected =
+    List.concat_map (fun s -> [ (s, "first"); (s, "later") ]) (Routers.names ())
+  in
+  Alcotest.(check (list (pair string string)))
+    "registration order, first then later" expected
+    (List.map (fun r -> (r.Fastwalk.scheme, r.Fastwalk.kind)) (Lazy.force rows))
+
+let suite =
+  [
+    Alcotest.test_case "json well-formed" `Quick test_json_well_formed;
+    Alcotest.test_case "all schemes present" `Quick test_all_schemes_present;
+    Alcotest.test_case "rows actually routed" `Quick test_rows_routed;
+    Alcotest.test_case "row order pinned" `Quick test_kinds_and_order;
+  ]

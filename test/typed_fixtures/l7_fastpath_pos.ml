@@ -1,0 +1,13 @@
+(* L7 positive, fast-path flavour: a compiled per-hop step function that
+   allocates — the exact mistake the manifest's fast_step entries exist
+   to catch.  A real compiled forward is array indexing only; this one
+   rebuilds the route as a list every hop. *)
+type packet = { mutable pos : int; route : int array }
+
+let[@hot] fast_step (pkt : packet) u =
+  let remaining = Array.to_list pkt.route in
+  match remaining with
+  | [] -> -2
+  | _ :: _ ->
+      pkt.pos <- pkt.pos + 1;
+      u + 1
