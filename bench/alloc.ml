@@ -99,59 +99,30 @@ let json_of_rows ~seed ~n ~walks rows =
 
 (* --- baseline gate (--baseline FILE) --------------------------------
 
-   String-scan of the committed BENCH_alloc.json — one row object per
-   line, as json_of_rows writes them — so the gate needs no JSON
-   dependency.  Allocation counts are deterministic for a fixed seed and
-   build, so the 20% headroom is for compiler-version drift, not noise. *)
+   Structural parse of the committed BENCH_alloc.json via
+   {!Disco_util.Json} (shared with the scaling bench's checkpoints).
+   This replaced a per-line string scanner that located values by byte
+   offset from the key — it silently mis-read rows whose members were
+   reordered from the exact [json_of_rows] layout.  Allocation counts
+   are deterministic for a fixed seed and build, so the 20% headroom is
+   for compiler-version drift, not noise. *)
 
-let find_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec at i = if i + m > n then None
-    else if String.sub s i m = sub then Some i
-    else at (i + 1)
-  in
-  at 0
-
-let scan_row line =
-  let field_string key =
-    match find_sub line (Printf.sprintf "\"%s\": \"" key) with
-    | None -> None
-    | Some i ->
-        let start = i + String.length key + 5 in
-        let stop = String.index_from line start '"' in
-        Some (String.sub line start (stop - start))
-  in
-  let field_float key =
-    match find_sub line (Printf.sprintf "\"%s\": " key) with
-    | None -> None
-    | Some i ->
-        let start = i + String.length key + 4 in
-        let stop = ref start in
-        while
-          !stop < String.length line
-          && (match line.[!stop] with
-             | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
-             | _ -> false)
-        do
-          incr stop
-        done;
-        float_of_string_opt (String.sub line start (!stop - start))
-  in
-  match (field_string "scheme", field_string "kind", field_float "words_per_hop") with
-  | Some scheme, Some kind, Some wph -> Some ((scheme, kind), wph)
-  | _ -> None
+module Json = Disco_util.Json
 
 let parse_baseline path =
-  let ic = open_in path in
-  let rows = ref [] in
-  (try
-     while true do
-       match scan_row (input_line ic) with
-       | Some r -> rows := r :: !rows
-       | None -> ()
-     done
-   with End_of_file -> close_in ic);
-  !rows
+  match Json.of_file path with
+  | Error e -> raise (Sys_error (Printf.sprintf "%s: %s" path e))
+  | Ok doc ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Json.string_member "scheme" row,
+              Json.string_member "kind" row,
+              Json.float_member "words_per_hop" row )
+          with
+          | Some scheme, Some kind, Some wph -> Some ((scheme, kind), wph)
+          | _ -> None)
+        (Json.list_member "rows" doc)
 
 (* Fail (Sys_error, so the CLI exits nonzero) on any row whose words/hop
    regressed more than 20% over the committed baseline.  Rows without a

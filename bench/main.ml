@@ -31,6 +31,14 @@ let run figure scale seed jobs json baseline =
         Throughput.run ?json ~seed scale;
         `Ok ()
       with Sys_error e -> `Error (false, e))
+  | "scaling" -> (
+      (* Decade sweep with its own checkpoint file: --json names it
+         (default BENCH_scaling.json); an existing file resumes the
+         sweep.  Exits nonzero if disco/nddisco state outgrows ~sqrt n. *)
+      try
+        Scaling.run ?json ~seed scale;
+        `Ok ()
+      with Sys_error e -> `Error (false, e))
   | _ -> (
       (match figure with
       | "all" ->
@@ -65,7 +73,9 @@ let cmd =
     Term.(
       ret
         (const run
-        $ Cli.figure_term ~extra:[ "all"; "micro"; "alloc"; "throughput" ] ~default:"all" ()
+        $ Cli.figure_term
+            ~extra:[ "all"; "micro"; "alloc"; "throughput"; "scaling" ]
+            ~default:"all" ()
         $ Cli.scale_term $ Cli.seed_term $ Cli.jobs_term $ json $ baseline))
 
 let () = exit (Cmd.eval cmd)

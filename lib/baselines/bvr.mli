@@ -19,9 +19,11 @@ type t
 val build :
   ?beacons:int -> ?routing_beacons:int -> rng:Disco_util.Rng.t ->
   Disco_graph.Graph.t -> t
-(** [beacons] defaults to ~sqrt(n log n) (the landmark rate); the packet
-    routes on the destination's [routing_beacons] (default 10) closest
-    beacons, as in the BVR paper. *)
+(** [beacons] defaults to ~sqrt(n log n) (the landmark rate) capped at
+    128 — the count x n distance slab dominates memory at million-node
+    scale and more beacons stop buying routing power well before that;
+    the packet routes on the destination's [routing_beacons] (default 10)
+    closest beacons, as in the BVR paper. *)
 
 val beacon_count : t -> int
 
@@ -31,6 +33,10 @@ val route : t -> src:int -> dst:int -> int list option
 
 val state_entries : t -> int -> int
 (** Coordinates plus beacon next-hops at one node. *)
+
+val state_bytes : t -> int -> float
+(** Exact bytes of the node's columns of the packed slabs: 8 bytes of
+    float64 distance plus one word of next hop per beacon. *)
 
 val ttl_factor : int
 (** TTL budget as a multiple of [n] (4, matching {!route}). *)
@@ -54,8 +60,9 @@ val coordinate : t -> int -> float array
 (** {2 Compiled fast path} *)
 
 type fast
-(** Per-destination routing-beacon components precomputed over the
-    existing distance/parent matrices, for the zero-alloc walker. *)
+(** Per-destination routing-beacon components precomputed into one
+    stride-[routing_beacons] slab over the build's distance/parent slabs,
+    for the zero-alloc walker. *)
 
 val compile : t -> fast
 val fast_prime : fast -> src:int -> dst:int -> unit

@@ -2,13 +2,15 @@ module Graph = Disco_graph.Graph
 module Dijkstra = Disco_graph.Dijkstra
 module Core = Disco_core
 
+type ball = { bm : int array; bd : float array; bp : int array }
+
 type t = {
   graph : Graph.t;
   names : Core.Name.t array;
   landmarks : Core.Landmarks.t;
   trees : Core.Landmark_trees.t;
   ring : Disco_hash.Consistent_hash.t;
-  ball_cache : (int, int -> (float * int) option) Disco_util.Pool.Memo.t;
+  ball_cache : (int, ball) Disco_util.Pool.Memo.t;
 }
 
 let build ?(params = Core.Params.default) ?names ?landmark_ids ~rng graph =
@@ -39,38 +41,60 @@ let graph t = t.graph
 let landmarks t = t.landmarks
 let radius t v = t.landmarks.Core.Landmarks.dist.(v)
 
+(* Sorted-member binary search; -1 when [x] is outside the ball. *)
+let rec ball_idx (members : int array) x lo hi =
+  if lo > hi then -1
+  else
+    let mid = (lo + hi) / 2 in
+    let m = members.(mid) in
+    if m = x then mid
+    else if m < x then ball_idx members x (mid + 1) hi
+    else ball_idx members x lo (mid - 1)
+
+let ball_mem b x = ball_idx b.bm x 0 (Array.length b.bm - 1) >= 0
+let ball_bytes b = 8 * ((3 * Array.length b.bm) + 1)
+
 (* Ball of [target]: every node strictly closer to [target] than
-   [target]'s landmark, as a lookup from node to (distance, predecessor)
-   in the shortest-path tree rooted at [target]. *)
+   [target]'s landmark, packed as id-sorted members with parallel
+   distances and predecessors in the shortest-path tree rooted at
+   [target] — the one representation both the typed face and the
+   compiled fast path read. *)
 let ball t target =
   (* Filled lazily from route calls, possibly inside pool tasks: the memo
      serializes the table, and each fill gets its own scratch workspace
-     (the truncated run copies its results out, so the cached lookup is
-     workspace-independent). *)
+     (results are copied out, so the cached ball is workspace-independent). *)
   Disco_util.Pool.Memo.find_or_add t.ball_cache target (fun () ->
       let ws = Dijkstra.make_workspace t.graph in
       let run = Dijkstra.within_radius ~ws t.graph target (radius t target) in
-      Dijkstra.truncated_lookup run)
+      let k = Array.length run.Dijkstra.order in
+      let idx = Array.init k (fun i -> i) in
+      Array.sort
+        (fun a b -> Int.compare run.Dijkstra.order.(a) run.Dijkstra.order.(b))
+        idx;
+      {
+        bm = Array.map (fun i -> run.Dijkstra.order.(i)) idx;
+        bd = Array.map (fun i -> run.Dijkstra.tdist.(i)) idx;
+        bp = Array.map (fun i -> run.Dijkstra.tparent.(i)) idx;
+      })
 
-let in_cluster t ~node ~target = node <> target && ball t target node <> None
+let in_cluster t ~node ~target = node <> target && ball_mem (ball t target) node
 
 (* Shortest path node ~> target via the ball's forest: predecessors lie one
    step closer to the target, so the parent walk from [node] reads off the
    node ~> target path in forward order (the graph is undirected). *)
 let cluster_path t ~node ~target =
-  let lookup = ball t target in
-  match lookup node with
-  | None -> None
-  | Some _ ->
-      let rec walk u acc =
-        if u = target then Some (List.rev (target :: acc))
-        else begin
-          match lookup u with
-          | None -> None
-          | Some (_, parent) -> walk parent (u :: acc)
-        end
-      in
-      walk node []
+  let b = ball t target in
+  if not (ball_mem b node) then None
+  else begin
+    let rec walk u acc =
+      if u = target then Some (List.rev (target :: acc))
+      else begin
+        let k = ball_idx b.bm u 0 (Array.length b.bm - 1) in
+        if k < 0 then None else walk b.bp.(k) (u :: acc)
+      end
+    in
+    walk node []
+  end
 
 let knows t u x =
   if u = x then Some [ u ]
@@ -253,12 +277,14 @@ let first_header t ~src ~dst =
 (* --- compiled fast path ---------------------------------------------------
 
    [forward] flattened for {!Dataplane.fast_walk}: landmark trees become
-   per-root parent arrays ([flm]), and each destination's ball becomes a
-   sorted member array with parallel rootward parents ([fball_m]/
-   [fball_p]), both primed per flow.  The per-hop shortcut check is then a
-   binary search plus parent walks; mirrors [forward] decision for
-   decision, with the typed path's Invalid_argument on an unreachable
-   landmark tree mapped to the protocol verdict. *)
+   per-root parent arrays ([flm]), and each destination's packed ball is
+   shared as-is with the typed face through the memo ([fball]), both
+   primed per flow.  The per-hop shortcut check is then a binary search
+   plus parent walks; mirrors [forward] decision for decision, with the
+   typed path's Invalid_argument on an unreachable landmark tree mapped
+   to the protocol verdict. *)
+
+let empty_ball = { bm = [||]; bd = [||]; bp = [||] }
 
 type fast = {
   fs4 : t;
@@ -266,8 +292,7 @@ type fast = {
   fis_lm : bool array;
   fnearest : int array;
   flm : int array array; (* per landmark root: tree parents; [||] unprimed *)
-  fball_m : int array array; (* per destination: sorted ball members *)
-  fball_p : int array array; (* parallel: predecessor one step closer *)
+  fball : ball array; (* per destination, shared with the memo; unprimed = empty *)
 }
 
 let compile t =
@@ -278,8 +303,7 @@ let compile t =
     fis_lm = t.landmarks.Core.Landmarks.is_landmark;
     fnearest = t.landmarks.Core.Landmarks.nearest;
     flm = Array.make n [||];
-    fball_m = Array.make n [||];
-    fball_p = Array.make n [||];
+    fball = Array.make n empty_ball;
   }
 
 let fast_prime_tree f lm =
@@ -290,30 +314,10 @@ let fast_prime f ~src:_ ~dst =
   if f.fis_lm.(dst) then fast_prime_tree f dst
   else begin
     fast_prime_tree f f.fnearest.(dst);
-    if Array.length f.fball_m.(dst) = 0 then begin
-      let lookup = ball f.fs4 dst in
-      let members = ref [] and parents = ref [] in
-      for v = Graph.n f.fg - 1 downto 0 do
-        match lookup v with
-        | Some (_, p) ->
-            members := v :: !members;
-            parents := p :: !parents
-        | None -> ()
-      done;
-      f.fball_m.(dst) <- Array.of_list !members;
-      f.fball_p.(dst) <- Array.of_list !parents
-    end
+    if Array.length f.fball.(dst).bm = 0 then
+      (* every ball contains its target, so a primed slot is never empty *)
+      f.fball.(dst) <- ball f.fs4 dst
   end
-
-(* Sorted-member binary search; -1 when [x] is outside the ball. *)
-let rec fast_ball_idx (members : int array) x lo hi =
-  if lo > hi then -1
-  else
-    let mid = (lo + hi) / 2 in
-    let m = members.(mid) in
-    if m = x then mid
-    else if m < x then fast_ball_idx members x (mid + 1) hi
-    else fast_ball_idx members x lo (mid - 1)
 
 (* [cluster_path]'s parent walk, split into a read-only probe (a broken
    chain means no divert, and the live route must stay intact) and the
@@ -321,7 +325,7 @@ let rec fast_ball_idx (members : int array) x lo hi =
 let rec fast_ball_check members parents x dst =
   x = dst
   ||
-  let k = fast_ball_idx members x 0 (Array.length members - 1) in
+  let k = ball_idx members x 0 (Array.length members - 1) in
   k >= 0 && fast_ball_check members parents parents.(k) dst
 
 let rec fast_ball_fill (pkt : D.packet) members parents x i dst =
@@ -331,7 +335,7 @@ let rec fast_ball_fill (pkt : D.packet) members parents x i dst =
     i
   end
   else begin
-    let k = fast_ball_idx members x 0 (Array.length members - 1) in
+    let k = ball_idx members x 0 (Array.length members - 1) in
     let p = parents.(k) in
     pkt.D.proute.(i) <- p;
     fast_ball_fill pkt members parents p (i + 1) dst
@@ -387,10 +391,11 @@ let fast_step f (pkt : D.packet) u =
       else D.fast_protocol (* unreachable: typed [knows] raises *)
     end
     else begin
-      let members = f.fball_m.(dst) in
-      let parents = f.fball_p.(dst) in
+      let b = f.fball.(dst) in
+      let members = b.bm in
+      let parents = b.bp in
       if
-        fast_ball_idx members u 0 (Array.length members - 1) >= 0
+        ball_idx members u 0 (Array.length members - 1) >= 0
         && fast_ball_check members parents u dst
       then begin
         let _cnt = fast_ball_fill pkt members parents u 0 dst in
@@ -429,3 +434,15 @@ let state_entries t ~cluster_sizes ~resolution_loads v =
   let cluster = cluster_sizes.(v) in
   let labels = min (Graph.degree t.graph v) (cluster + landmark_entries) in
   cluster + landmark_entries + labels + resolution_loads.(v)
+
+let state_bytes t ~cluster_sizes ~resolution_loads v =
+  let landmark_entries = Core.Landmarks.count t.landmarks in
+  let cluster = cluster_sizes.(v) in
+  let labels = min (Graph.degree t.graph v) (cluster + landmark_entries) in
+  (* Cluster and landmark routes are packed-ball rows: (member, distance,
+     next hop) at 24 bytes; forwarding labels one word; resolution-share
+     entries a (name hash, location) pair. *)
+  float_of_int
+    ((24 * (cluster + landmark_entries))
+    + (8 * labels)
+    + (16 * resolution_loads.(v)))

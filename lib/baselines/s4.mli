@@ -29,6 +29,18 @@ val landmarks : t -> Disco_core.Landmarks.t
 val radius : t -> int -> float
 (** [d(v, l_v)], the ball radius governing who stores a route to [v]. *)
 
+type ball = { bm : int array; bd : float array; bp : int array }
+(** A target's ball packed flat: id-sorted members with parallel distances
+    and rootward predecessors — the one representation the typed face and
+    the compiled fast path both read. *)
+
+val ball : t -> int -> ball
+(** Ball of a target (one truncated Dijkstra, memoised). Always contains
+    the target itself. *)
+
+val ball_bytes : ball -> int
+(** Exact bytes of the packed ball slabs. *)
+
 val in_cluster : t -> node:int -> target:int -> bool
 (** Is [target] in [node]'s cluster, i.e. [d(node,target) < radius target]?
     Computed from the target's ball (one truncated Dijkstra, cached). *)
@@ -81,6 +93,12 @@ val state_entries :
   t -> cluster_sizes:int array -> resolution_loads:int array -> int -> int
 (** Data-plane entries at a node: cluster + landmark routes + forwarding
     labels + resolution-database load. *)
+
+val state_bytes :
+  t -> cluster_sizes:int array -> resolution_loads:int array -> int -> float
+(** Exact bytes of those entries as packed: 24-byte (member, distance,
+    next hop) rows for cluster and landmark routes, one word per label,
+    16 bytes per resolution entry. *)
 
 (** {2 Compiled fast path} *)
 

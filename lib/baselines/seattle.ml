@@ -1,14 +1,36 @@
 module Graph = Disco_graph.Graph
 module Dijkstra = Disco_graph.Dijkstra
 module Consistent_hash = Disco_hash.Consistent_hash
+module Packed = Disco_core.Packed
 
 type t = {
   graph : Graph.t;
   names : Disco_core.Name.t array;
   ring : Consistent_hash.t;
   resolver : int array; (* per destination *)
+  directory : Packed.Csr.t;
+      (* the resolver map inverted: row v = the destinations whose
+         directory entry v stores, sorted ascending *)
   trees : (int, Dijkstra.sssp) Disco_util.Pool.Memo.t;
 }
+
+(* Invert [resolver] into a CSR by counting sort: row v lists v's
+   directory share, and per-node state queries read a row length instead
+   of rescanning all n resolver slots. *)
+let invert_resolver n resolver =
+  let off = Array.make (n + 1) 0 in
+  Array.iter (fun r -> off.(r + 1) <- off.(r + 1) + 1) resolver;
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + off.(i + 1)
+  done;
+  let data = Array.make n 0 in
+  let cursor = Array.sub off 0 n in
+  Array.iteri
+    (fun d r ->
+      data.(cursor.(r)) <- d;
+      cursor.(r) <- cursor.(r) + 1)
+    resolver;
+  Packed.Csr.of_parts ~off ~data
 
 let build graph ~names =
   let n = Graph.n graph in
@@ -20,7 +42,14 @@ let build graph ~names =
       ()
   in
   let resolver = Array.map (fun name -> Consistent_hash.owner_of_name ring name) names in
-  { graph; names; ring; resolver; trees = Disco_util.Pool.Memo.create () }
+  {
+    graph;
+    names;
+    ring;
+    resolver;
+    directory = invert_resolver n resolver;
+    trees = Disco_util.Pool.Memo.create ();
+  }
 
 (* Lazy per-root SSSP, shared across query handles; the memo makes the
    fill safe from pool tasks, and each fill uses its own workspace
@@ -46,10 +75,12 @@ let route_first t ~src ~dst =
     else shortest t ~src ~dst:r @ List.tl (shortest t ~src:r ~dst)
   end
 
-let state_entries t v =
-  let directory = ref 0 in
-  Array.iter (fun r -> if r = v then incr directory) t.resolver;
-  Graph.n t.graph - 1 + !directory
+let state_entries t v = Graph.n t.graph - 1 + Packed.Csr.row_len t.directory v
+
+let state_bytes t v =
+  (* One word per link-state route, plus a (name hash, location) pair per
+     directory-share entry. *)
+  float_of_int ((8 * (Graph.n t.graph - 1)) + (16 * Packed.Csr.row_len t.directory v))
 
 module D = Disco_core.Dataplane
 

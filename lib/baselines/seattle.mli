@@ -23,7 +23,12 @@ val route_later : t -> src:int -> dst:int -> int list
 (** Exact shortest path (the source caches the location). *)
 
 val state_entries : t -> int -> int
-(** n-1 link-state routes + the node's directory share. *)
+(** n-1 link-state routes + the node's directory share — a CSR row length
+    over the inverted resolver map, not a rescan of all n slots. *)
+
+val state_bytes : t -> int -> float
+(** Exact bytes: one word per link-state route plus a 16-byte
+    (name hash, location) directory entry per CSR row slot. *)
 
 val ttl_factor : int
 (** TTL budget as a multiple of [n] (4). *)

@@ -2,6 +2,7 @@ module Graph = Disco_graph.Graph
 module Dijkstra = Disco_graph.Dijkstra
 module Heap = Disco_util.Heap
 module Rng = Disco_util.Rng
+module Packed = Disco_core.Packed
 
 type t = {
   graph : Graph.t;
@@ -9,7 +10,8 @@ type t = {
   level : int array; (* highest level each node belongs to *)
   pivot : int array array; (* pivot.(i).(v) = p_i(v); -1 if unreachable *)
   pivot_dist : float array array; (* d(v, A_i) *)
-  bunch : (int, float) Hashtbl.t array; (* per node: w -> d(v, w) *)
+  bunch : Packed.Csr.t; (* per node: sorted bunch member ids *)
+  bunch_d : Packed.Fslab.t; (* parallel to [bunch.data]: d(v, w) *)
   trees : (int, Dijkstra.sssp) Disco_util.Pool.Memo.t;
       (* lazy per-pivot SSSP shared by route and forward *)
 }
@@ -26,16 +28,13 @@ let level_sizes t =
     t.level;
   sizes
 
-(* d(v, A_{i+1}), with the sentinel d(v, A_k) = infinity. *)
-let next_level_dist t i v =
-  if i + 1 >= t.k then infinity else t.pivot_dist.(i + 1).(v)
-
 (* Bunch contributions of one sampled node [w] at level [i]: every node u
    with d(w, u) < d(u, A_{i+1}) learns a route to w (strict inequality,
    as in TZ). A pruned Dijkstra from w: a node only propagates the search
-   if it satisfies the condition itself. *)
-let scatter t ~w ~i =
-  let g = t.graph in
+   if it satisfies the condition itself. [next_dist i u] is d(u, A_{i+1})
+   with the sentinel d(u, A_k) = infinity; [staging] holds the mutable
+   per-node bunches until {!build} freezes them into the CSR. *)
+let scatter ~graph:g ~next_dist ~staging ~w ~i =
   let dist = Hashtbl.create 64 in
   let heap = Heap.create () in
   Heap.push heap 0.0 w;
@@ -48,8 +47,8 @@ let scatter t ~w ~i =
     | Some (d, u) ->
         if not (Hashtbl.mem settled u) then begin
           Hashtbl.replace settled u ();
-          if d < next_level_dist t i u then begin
-            if u <> w then Hashtbl.replace t.bunch.(u) w d;
+          if d < next_dist i u then begin
+            if u <> w then Hashtbl.replace staging.(u) w d;
             Graph.iter_neighbors g u (fun v wgt ->
                 let nd = d +. wgt in
                 match Hashtbl.find_opt dist v with
@@ -86,28 +85,52 @@ let build ~rng ~k graph =
     pivot.(i) <- multi.Dijkstra.msource;
     pivot_dist.(i) <- multi.Dijkstra.mdist
   done;
-  let t =
-    {
-      graph;
-      k;
-      level;
-      pivot;
-      pivot_dist;
-      bunch = Array.init n (fun _ -> Hashtbl.create 16);
-      trees = Disco_util.Pool.Memo.create ();
-    }
+  let staging = Array.init n (fun _ -> Hashtbl.create 16) in
+  let next_dist i v =
+    if i + 1 >= k then infinity else pivot_dist.(i + 1).(v)
   in
   for w = 0 to n - 1 do
     (* w contributes at each level it belongs to. *)
     for i = 0 to level.(w) do
-      scatter t ~w ~i
+      scatter ~graph ~next_dist ~staging ~w ~i
     done
   done;
-  t
+  (* Freeze the staged bunches into flat slabs: id-sorted CSR rows with a
+     parallel distance slab, binary-searched from here on. *)
+  let bunch =
+    Packed.Csr.of_fn ~n
+      ~row_len:(fun v -> Hashtbl.length staging.(v))
+      ~fill:(fun v data off ->
+        let j = ref off in
+        Hashtbl.iter
+          (fun w _ ->
+            data.(!j) <- w;
+            incr j)
+          staging.(v);
+        let row = Array.sub data off (!j - off) in
+        Array.sort Int.compare row;
+        Array.blit row 0 data off (Array.length row))
+  in
+  let bunch_d = Packed.Fslab.create (Packed.Csr.total bunch) ~init:infinity in
+  for v = 0 to n - 1 do
+    let off = Packed.Csr.row_off bunch v in
+    for j = 0 to Packed.Csr.row_len bunch v - 1 do
+      let w = Packed.Csr.get bunch v j in
+      Packed.Fslab.set bunch_d (off + j) (Hashtbl.find staging.(v) w)
+    done
+  done;
+  { graph; k; level; pivot; pivot_dist; bunch; bunch_d;
+    trees = Disco_util.Pool.Memo.create () }
 
-let state t v = Hashtbl.length t.bunch.(v) + t.k
+let state t v = Packed.Csr.row_len t.bunch v + t.k
 
-let in_bunch t ~node ~target = node = target || Hashtbl.mem t.bunch.(node) target
+(* Exact bytes of v's slice of the packed tables: its bunch row (8-byte id
+   + 8-byte distance per entry) plus a (pivot, distance) pair per level. *)
+let state_bytes t v =
+  float_of_int ((16 * Packed.Csr.row_len t.bunch v) + (16 * t.k))
+
+let in_bunch t ~node ~target =
+  node = target || Packed.Csr.find_sorted t.bunch node target >= 0
 
 (* The TZ query: climb levels, alternating sides, until the current pivot
    of one endpoint lies in the other's bunch; route via that pivot. *)
@@ -117,7 +140,12 @@ let route_length t ~src ~dst =
     let rec climb i x y w =
       if in_bunch t ~node:y ~target:w then begin
         let d_xw = if w = x then 0.0 else t.pivot_dist.(i).(x) in
-        let d_yw = if w = y then 0.0 else Hashtbl.find t.bunch.(y) w in
+        let d_yw =
+          if w = y then 0.0
+          else
+            Packed.Fslab.get t.bunch_d
+              (Packed.Csr.row_off t.bunch y + Packed.Csr.find_sorted t.bunch y w)
+        in
         d_xw +. d_yw
       end
       else begin

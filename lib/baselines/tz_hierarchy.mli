@@ -30,6 +30,11 @@ val level_sizes : t -> int array
 val state : t -> int -> int
 (** Routing-table entries at a node: its bunch plus its per-level pivots. *)
 
+val state_bytes : t -> int -> float
+(** Exact bytes of a node's slice of the packed tables: its CSR bunch row
+    with the parallel distance slab (16 bytes per entry) plus a
+    (pivot, distance) pair per level. *)
+
 val route_length : t -> src:int -> dst:int -> float
 (** Length of the TZ route (via the first common pivot, taking the better
     direction). Finite for every connected pair. *)

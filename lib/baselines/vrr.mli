@@ -53,6 +53,11 @@ val state_entries : t -> int array
 (** Routing entries per node: converged path entries through the node plus
     its physical-neighbor (pset) entries. *)
 
+val state_bytes : t -> int -> float
+(** Exact bytes of a node's slice of the packed slabs: its frozen
+    (endpoint, next-hop) entry blocks at 32 bytes each, plus one word per
+    vset member, per physical neighbor, and for its own virtual id. *)
+
 val vset : t -> int -> int array
 (** The node's converged virtual neighbors. *)
 
@@ -66,9 +71,9 @@ val ring_distance_ok : t -> bool
 (** {2 Compiled fast path} *)
 
 type fast
-(** Virtual ids as unsigned 32-bit halves and the entry lists flattened
-    into CSR arrays, for the zero-alloc walker (no Int64 on the hop
-    loop). *)
+(** Virtual ids as unsigned 32-bit halves over the same frozen CSR entry
+    slabs the typed face reads (shared, not copied), for the zero-alloc
+    walker (no Int64 on the hop loop). *)
 
 val compile : t -> fast
 val fast_prime : fast -> src:int -> dst:int -> unit

@@ -25,6 +25,8 @@ let make g ~route =
         label_bits = Bits.Writer.bit_length writer;
       }
 
+let of_parts ~landmark ~route ~labels ~label_bits = { landmark; route; labels; label_bits }
+
 let decode g ~landmark ~labels ~hops =
   let reader = Bits.Reader.of_bytes labels in
   let rec walk u remaining acc =

@@ -22,6 +22,11 @@ val make : Disco_graph.Graph.t -> route:int list -> t
     path in [g].
     @raise Invalid_argument if the route is empty or not a path. *)
 
+val of_parts : landmark:int -> route:int array -> labels:bytes -> label_bits:int -> t
+(** Rehydrate an address from packed storage ({!Nddisco} keeps all
+    addresses in flat slabs). The parts must originate from {!make};
+    no re-validation is performed. *)
+
 val decode : Disco_graph.Graph.t -> landmark:int -> labels:bytes -> hops:int -> int list
 (** Replay [hops] packed labels from [landmark]: the data-plane forwarding
     walk. [decode g ~landmark ~labels ~hops] returns the full node path;

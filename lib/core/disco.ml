@@ -149,3 +149,39 @@ let state_bytes t ~name_bytes v =
     end
   in
   route_bytes +. label_bytes +. group_bytes +. resolution_bytes
+
+(* Exact per-node state measured from the packed slabs (no name-size
+   modelling): NDDisco's share (vicinity view + landmark tree slots + own
+   address), the consistent-hash ring every node stores, an amortised
+   share of the Othello owner FIB, this node's slice of the group index,
+   the packed addresses of mutually-grouped members it stores, and — at
+   landmarks — the resolution shard (a 16-byte Kv64 slot plus the stored
+   address per owned name). *)
+let packed_state_bytes t v =
+  let nd = t.nd in
+  let n = Nddisco.n nd in
+  let addr w = float_of_int (8 + Nddisco.address_slab_bytes nd w) in
+  let sorted = Groups.sorted_ids t.groups in
+  let start, stop = Groups.member_range t.groups v in
+  let group = ref 0.0 in
+  for i = start to stop - 1 do
+    let w = sorted.(i) in
+    if w <> v && Groups.believes t.groups w v then group := !group +. addr w
+  done;
+  let resolution =
+    if not nd.Nddisco.landmarks.Landmarks.is_landmark.(v) then 0.0
+    else begin
+      let owners = Resolution.owners_by_node t.resolution in
+      let acc = ref 0.0 in
+      Array.iteri (fun w o -> if o = v then acc := !acc +. 16.0 +. addr w) owners;
+      !acc
+    end
+  in
+  let fib_share =
+    float_of_int (Packed.Othello.byte_size (Resolution.fib t.resolution))
+    /. float_of_int n
+  in
+  Nddisco.packed_state_bytes nd v
+  +. float_of_int (Resolution.ring_byte_size t.resolution)
+  +. 24.0 (* this node's slice of the group index: hash, bits, sorted id *)
+  +. !group +. resolution +. fib_share

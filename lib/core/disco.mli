@@ -70,3 +70,9 @@ val state_bytes : t -> name_bytes:int -> int -> float
 (** Data-plane state in bytes at a node (Fig 7): route entries cost
     name + label bytes; address mappings (groups, resolution) cost
     name + address bytes. *)
+
+val packed_state_bytes : t -> int -> float
+(** Exact per-node state from the packed slabs (vicinity view, landmark
+    tree slots, address slab slice, ring, Othello FIB share, stored group
+    and resolution addresses) — no name-size modelling, no [Obj]
+    guesswork. Forces only what [v]'s accounting needs. *)

@@ -208,66 +208,43 @@ let later_header_nd (nd : Nddisco.t) ~src ~dst =
   | _ -> first_header_nd nd ~src ~dst
 
 (* ------------------------------------------------------------------ *)
-(* Compiled fast path: the node state the typed steps consult, flattened
-   into int/float arrays at compile time so the per-hop decision is array
-   indexing with zero allocation.  Vicinity views become one CSR
-   (members/dists/parents segments per node, members ascending — the same
-   order [Vicinity.view] exposes); landmark trees become parent rows
-   primed per flow; name hashes split into unsigned 32-bit halves so the
-   group tests never box an Int64. *)
+(* Compiled fast path: reads the SAME packed state the typed steps
+   consult — vicinity view records via their direct-index slots, address
+   routes straight off Nddisco's CSR, the resolution owner from the
+   Othello FIB — so compiling no longer re-flattens anything into private
+   copies.  Landmark trees become parent rows primed per flow; name
+   hashes split into unsigned 32-bit halves so the group tests never box
+   an Int64. *)
 
 type fast = {
   ffg : Graph.t;
   fis_lm : bool array;
   ftrees : Landmark_trees.t;
   flm : int array array;  (* parent row per landmark; [||] = unprimed *)
-  fvoff : int array;  (* n+1 CSR offsets into the three segments below *)
-  fvmem : int array;
-  fvdist : float array;
-  fvpar : int array;
+  fviews : Vicinity.view array;  (* shared with the typed face *)
   fghi : int array;  (* name-hash top/bottom 32 bits ([||] for NDDisco) *)
   fglo : int array;
   fgbits : int array;  (* per-node group prefix width *)
-  fowner : int array;  (* resolution owner per node ([||] for NDDisco) *)
-  falm : int array;  (* address landmark per node *)
-  faroute : int array array;  (* address node path [lm; ...; v] *)
+  ffib : Packed.Othello.t option;  (* resolution owner FIB; None for NDDisco *)
+  falm : int array;  (* address landmark per node (shared slab) *)
+  faroute : Packed.Csr.t;  (* address node paths [lm; ...; v] (shared CSR) *)
 }
 
 let compile_nd (nd : Nddisco.t) =
   let g = nd.Nddisco.graph in
   let n = Graph.n g in
-  Vicinity.precompute_all nd.Nddisco.vicinity;
-  let fvoff = Array.make (n + 1) 0 in
-  for v = 0 to n - 1 do
-    let vw = Vicinity.view nd.Nddisco.vicinity v in
-    fvoff.(v + 1) <- fvoff.(v) + Array.length vw.Vicinity.members
-  done;
-  let total = fvoff.(n) in
-  let fvmem = Array.make total 0 in
-  let fvdist = Array.make total 0.0 in
-  let fvpar = Array.make total 0 in
-  for v = 0 to n - 1 do
-    let vw = Vicinity.view nd.Nddisco.vicinity v in
-    let len = Array.length vw.Vicinity.members in
-    Array.blit vw.Vicinity.members 0 fvmem fvoff.(v) len;
-    Array.blit vw.Vicinity.dists 0 fvdist fvoff.(v) len;
-    Array.blit vw.Vicinity.parents 0 fvpar fvoff.(v) len
-  done;
   {
     ffg = g;
     fis_lm = nd.Nddisco.landmarks.Landmarks.is_landmark;
     ftrees = nd.Nddisco.trees;
     flm = Array.make n [||];
-    fvoff;
-    fvmem;
-    fvdist;
-    fvpar;
+    fviews = Vicinity.slots nd.Nddisco.vicinity;
     fghi = [||];
     fglo = [||];
     fgbits = [||];
-    fowner = [||];
-    falm = Array.init n (fun v -> (Nddisco.address nd v).Address.landmark);
-    faroute = Array.init n (fun v -> (Nddisco.address nd v).Address.route);
+    ffib = None;
+    falm = nd.Nddisco.addresses.Nddisco.alm;
+    faroute = nd.Nddisco.addresses.Nddisco.aroute;
   }
 
 let compile (d : Disco.t) =
@@ -278,12 +255,12 @@ let compile (d : Disco.t) =
   let fglo = Array.make n 0 in
   let fgbits = Array.make n 0 in
   for v = 0 to n - 1 do
-    let h = nd.Nddisco.hashes.(v) in
-    fghi.(v) <- Int64.to_int (Int64.shift_right_logical h 32);
-    fglo.(v) <- Int64.to_int (Int64.logand h 0xFFFFFFFFL);
+    let hi, lo = Packed.split64 nd.Nddisco.hashes.(v) in
+    fghi.(v) <- hi;
+    fglo.(v) <- lo;
     fgbits.(v) <- Groups.bits_of d.Disco.groups v
   done;
-  { base with fghi; fglo; fgbits; fowner = Resolution.owners_by_node d.Disco.resolution }
+  { base with fghi; fglo; fgbits; ffib = Some (Resolution.fib d.Disco.resolution) }
 
 let fast_prime_lm f lm =
   if Array.length f.flm.(lm) = 0 then
@@ -291,25 +268,32 @@ let fast_prime_lm f lm =
 
 let fast_prime_nd f ~src:_ ~dst = if f.fis_lm.(dst) then fast_prime_lm f dst
 
+let fast_owner f dst =
+  match f.ffib with
+  | Some fib -> Packed.Othello.query fib ~hi:f.fghi.(dst) ~lo:f.fglo.(dst)
+  | None -> -1
+
 let fast_prime f ~src:_ ~dst =
   if f.fis_lm.(dst) then fast_prime_lm f dst
   else begin
     fast_prime_lm f f.falm.(dst);
-    fast_prime_lm f f.fowner.(dst)
+    fast_prime_lm f (fast_owner f dst)
   end
 
-(* [w]'s index in V(v)'s CSR segment (global index), or -1. *)
-let rec vseg_search f w lo hi =
+(* [w]'s index in V(v)'s sorted member row, or -1. *)
+let rec vseg_search (mem : int array) w lo hi =
   if lo > hi then -1
   else begin
     let mid = (lo + hi) / 2 in
-    let m = f.fvmem.(mid) in
+    let m = mem.(mid) in
     if m = w then mid
-    else if m < w then vseg_search f w (mid + 1) hi
-    else vseg_search f w lo (mid - 1)
+    else if m < w then vseg_search mem w (mid + 1) hi
+    else vseg_search mem w lo (mid - 1)
   end
 
-let vseg_find f v w = vseg_search f w f.fvoff.(v) (f.fvoff.(v + 1) - 1)
+let vseg_find f v w =
+  let mem = f.fviews.(v).Vicinity.members in
+  vseg_search mem w 0 (Array.length mem - 1)
 
 (* Label count of the vicinity path [v ~> x] with [x] already counted in
    [acc]; -1 when the view does not resolve it — exactly the cases where
@@ -318,13 +302,14 @@ let rec vchain_len f v x acc =
   let j = vseg_find f v x in
   if j < 0 then -1
   else begin
-    let p = f.fvpar.(j) in
+    let p = f.fviews.(v).Vicinity.parents.(j) in
     if p = v then acc else vchain_len f v p (acc + 1)
   end
 
 let rec vfill_back f (pkt : D.packet) v x i =
   pkt.D.proute.(i) <- x;
-  if i > 0 then vfill_back f pkt v f.fvpar.(vseg_find f v x) (i - 1)
+  if i > 0 then
+    vfill_back f pkt v f.fviews.(v).Vicinity.parents.(vseg_find f v x) (i - 1)
 
 (* Load the [c] labels of the vicinity path [v ~> w] (probed first with
    [vchain_len]) into the route window. *)
@@ -359,10 +344,11 @@ let local_fill f pkt u dst =
    address labels.  Returns the label count or -1 (typed raise). *)
 let addr_fill f (pkt : D.packet) u dst =
   let lm = f.falm.(dst) in
-  let route = f.faroute.(dst) in
-  let hops = Array.length route - 1 in
+  let roff = f.faroute.Packed.Csr.off.(dst) in
+  let rdata = f.faroute.Packed.Csr.data in
+  let hops = f.faroute.Packed.Csr.off.(dst + 1) - roff - 1 in
   if u = lm then begin
-    Array.blit route 1 pkt.D.proute 0 hops;
+    Array.blit rdata (roff + 1) pkt.D.proute 0 hops;
     pkt.D.proute_pos <- 0;
     pkt.D.proute_end <- hops;
     hops
@@ -374,7 +360,7 @@ let addr_fill f (pkt : D.packet) u dst =
       let c = D.route_fill_up pkt parents u lm in
       if c < 0 then -1
       else begin
-        Array.blit route 1 pkt.D.proute pkt.D.proute_end hops;
+        Array.blit rdata (roff + 1) pkt.D.proute pkt.D.proute_end hops;
         pkt.D.proute_end <- pkt.D.proute_end + hops;
         c + hops
       end
@@ -403,22 +389,22 @@ let fd_cpl f a b =
     if xl = 0 then 64 else 32 + clz32_from xl 0
   end
 
-(* [best_group_proxy]'s scan over V(u)'s CSR segment: best proxy id in
+(* [best_group_proxy]'s scan over V(u)'s member row: best proxy id in
    [pis.(1)], its prefix length in [pis.(2)], its distance in [pfs.(1)];
    same order (members ascending) and tie rule as the typed fold. *)
-let rec proxy_scan f (pkt : D.packet) dst i stop =
+let rec proxy_scan f (pkt : D.packet) (vw : Vicinity.view) dst i stop =
   if i < stop then begin
-    let w = f.fvmem.(i) in
+    let w = vw.Vicinity.members.(i) in
     if w <> dst then begin
       let len = fd_cpl f w dst in
-      let d = f.fvdist.(i) in
+      let d = vw.Vicinity.dists.(i) in
       if len > pkt.D.pis.(2) || (len = pkt.D.pis.(2) && d < pkt.D.pfs.(1)) then begin
         pkt.D.pis.(1) <- w;
         pkt.D.pis.(2) <- len;
         pkt.D.pfs.(1) <- d
       end
     end;
-    proxy_scan f pkt dst (i + 1) stop
+    proxy_scan f pkt vw dst (i + 1) stop
   end
 
 (* The step machine, decision-for-decision the typed [seek_step] /
@@ -442,7 +428,8 @@ let rec fd_seek f (pkt : D.packet) u tried =
       pkt.D.pis.(1) <- -1;
       pkt.D.pis.(2) <- -1;
       pkt.D.pfs.(1) <- infinity;
-      proxy_scan f pkt dst f.fvoff.(u) f.fvoff.(u + 1);
+      let vw = f.fviews.(u) in
+      proxy_scan f pkt vw dst 0 (Array.length vw.Vicinity.members);
       let w = pkt.D.pis.(1) in
       if w >= 0 && fd_same_group f w dst then begin
         if w = u then fd_resolution f pkt u dst
@@ -473,7 +460,7 @@ and fd_addr_carry f (pkt : D.packet) u dst =
   end
 
 and fd_resolution f (pkt : D.packet) u dst =
-  let owner = f.fowner.(dst) in
+  let owner = fast_owner f dst in
   if u = owner then fd_addr_carry f pkt u dst
   else begin
     let parents = f.flm.(owner) in

@@ -73,6 +73,11 @@ let members t v =
   Array.sort Int.compare out;
   out
 
+let sorted_ids t = t.sorted
+
+let member_range t v =
+  prefix_range t ~width:t.bits.(v) ~prefix:(group_id t v)
+
 let storers t v =
   members t v |> Array.to_list
   |> List.filter (fun w -> believes_in_group t w v)

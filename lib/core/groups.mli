@@ -42,6 +42,15 @@ val same_group : t -> int -> int -> bool
 val members : t -> int -> int array
 (** Nodes that [v] believes are in G(v) (including [v]); ascending ids. *)
 
+val sorted_ids : t -> int array
+(** All node ids ordered by hash (unsigned, ties by id) — the packed face
+    group slices point into. Do not mutate. *)
+
+val member_range : t -> int -> int * int
+(** [(start, stop)] bounds of v's group within {!sorted_ids}: the
+    allocation-free form of {!members}, in hash order rather than id
+    order. *)
+
 val storers : t -> int -> int array
 (** Nodes that hold [v]'s address: those mutually grouped with [v]. *)
 

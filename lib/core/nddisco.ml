@@ -1,5 +1,18 @@
 module Graph = Disco_graph.Graph
 
+(* All n addresses in four flat slabs instead of n boxed records: the
+   landmark column, the explicit routes as one CSR, and the per-hop
+   forwarding labels as one bytes blob with byte offsets and exact bit
+   lengths. The compiled fast path walks [aroute] in place; the typed
+   face rehydrates an [Address.t] on demand. *)
+type addresses = {
+  alm : int array;
+  aroute : Packed.Csr.t;
+  albl_off : int array;
+  albl_bits : int array;
+  albl : Bytes.t;
+}
+
 type t = {
   graph : Graph.t;
   params : Params.t;
@@ -8,7 +21,7 @@ type t = {
   landmarks : Landmarks.t;
   vicinity : Vicinity.t;
   trees : Landmark_trees.t;
-  addresses : Address.t array;
+  addresses : addresses;
 }
 
 let build ?(params = Params.default) ?names ?landmark_ids ?(guarantee_coverage = false)
@@ -29,7 +42,28 @@ let build ?(params = Params.default) ?names ?landmark_ids ?(guarantee_coverage =
   let vicinity = Vicinity.create graph ~k in
   let trees = Landmark_trees.create graph in
   let addresses =
-    Array.init n (fun v -> Address.make graph ~route:(Landmarks.address_route landmarks v))
+    let alm = Array.make n 0 in
+    let roff = Array.make (n + 1) 0 in
+    let rdata = Packed.Grow.create ~capacity:(4 * n) () in
+    let albl_off = Array.make (n + 1) 0 in
+    let albl_bits = Array.make n 0 in
+    let lbl = Buffer.create (2 * n) in
+    for v = 0 to n - 1 do
+      let a = Address.make graph ~route:(Landmarks.address_route landmarks v) in
+      alm.(v) <- a.Address.landmark;
+      Array.iter (Packed.Grow.push rdata) a.Address.route;
+      roff.(v + 1) <- Packed.Grow.len rdata;
+      Buffer.add_bytes lbl a.Address.labels;
+      albl_off.(v + 1) <- Buffer.length lbl;
+      albl_bits.(v) <- a.Address.label_bits
+    done;
+    {
+      alm;
+      aroute = Packed.Csr.of_parts ~off:roff ~data:(Packed.Grow.to_array rdata);
+      albl_off;
+      albl_bits;
+      albl = Buffer.to_bytes lbl;
+    }
   in
   {
     graph;
@@ -43,7 +77,24 @@ let build ?(params = Params.default) ?names ?landmark_ids ?(guarantee_coverage =
   }
 
 let n t = Graph.n t.graph
-let address t v = t.addresses.(v)
+
+let address t v =
+  let a = t.addresses in
+  Address.of_parts ~landmark:a.alm.(v)
+    ~route:(Packed.Csr.sub_row a.aroute v)
+    ~labels:(Bytes.sub a.albl a.albl_off.(v) (a.albl_off.(v + 1) - a.albl_off.(v)))
+    ~label_bits:a.albl_bits.(v)
+
+let address_landmark t v = t.addresses.alm.(v)
+
+(* Route column of v's address as a list, straight off the CSR. *)
+let address_route_list t v =
+  let a = t.addresses in
+  let acc = ref [] in
+  for j = Packed.Csr.row_len a.aroute v - 1 downto 0 do
+    acc := Packed.Csr.get a.aroute v j :: !acc
+  done;
+  !acc
 
 let knows t u x =
   if u = x then Some [ u ]
@@ -59,9 +110,9 @@ let raw_route t ~src ~dst =
     match Vicinity.path t.vicinity src dst with
     | Some p -> p
     | None ->
-        let lm = (address t dst).landmark in
+        let lm = address_landmark t dst in
         let to_landmark = Landmark_trees.path_to t.trees src ~lm in
-        let from_landmark = Array.to_list (address t dst).route in
+        let from_landmark = address_route_list t dst in
         (* Both segments contain the landmark; drop one copy. *)
         to_landmark @ List.tl from_landmark
   end
@@ -86,6 +137,23 @@ let route_later ?(heuristic = Shortcut.No_path_knowledge) t ~src ~dst =
   match Vicinity.path t.vicinity dst src with
   | Some p when src <> dst -> List.rev p
   | _ -> shortcut_route t heuristic ~src ~dst
+
+(* Exact in-memory cost of v's slice of the packed address slabs: landmark
+   and bit-length columns, the two offset columns, the route row, and the
+   label bytes. *)
+let address_slab_bytes t v =
+  let a = t.addresses in
+  32 + (8 * Packed.Csr.row_len a.aroute v) + (a.albl_off.(v + 1) - a.albl_off.(v))
+
+(* Exact per-node state from the packed slabs: the vicinity view arrays,
+   one (parent, dist) slot in every landmark tree, and the node's own
+   address. The Õ(√n) quantity the scaling sweep fits. *)
+let packed_state_bytes t v =
+  let lms = Landmarks.count t.landmarks in
+  float_of_int
+    (Vicinity.view_bytes (Vicinity.view t.vicinity v)
+    + (16 * lms)
+    + address_slab_bytes t v)
 
 type state_detail = {
   vicinity_entries : int;

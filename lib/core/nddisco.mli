@@ -17,6 +17,17 @@
     {!Disco_pathvector.Pathvector} and the two are cross-checked in the
     test suite). *)
 
+type addresses = {
+  alm : int array;  (** closest landmark per node *)
+  aroute : Packed.Csr.t;  (** explicit routes [l_v; ...; v], one CSR row per node *)
+  albl_off : int array;  (** byte offsets into [albl], length n+1 *)
+  albl_bits : int array;  (** exact label bit length per node *)
+  albl : Bytes.t;  (** concatenated per-hop forwarding labels *)
+}
+(** Every address packed into flat slabs (the succinct-state layout): the
+    compiled data plane walks [aroute] rows in place; {!address}
+    rehydrates a boxed {!Address.t} for the typed face. *)
+
 type t = {
   graph : Disco_graph.Graph.t;
   params : Params.t;
@@ -25,7 +36,7 @@ type t = {
   landmarks : Landmarks.t;
   vicinity : Vicinity.t;
   trees : Landmark_trees.t;
-  addresses : Address.t array;
+  addresses : addresses;
 }
 
 val build :
@@ -43,7 +54,15 @@ val build :
     deterministically rather than w.h.p. *)
 
 val n : t -> int
+
 val address : t -> int -> Address.t
+(** Rehydrated from the packed slabs; allocates — typed face only. *)
+
+val address_landmark : t -> int -> int
+(** [ (address t v).landmark ] without the rehydration. *)
+
+val address_route_list : t -> int -> int list
+(** Route column of [v]'s address, read straight off the CSR. *)
 
 val knows : t -> Shortcut.knowledge
 (** Direct-path knowledge of a node: shortest paths to landmarks and to
@@ -62,6 +81,14 @@ val route_later : ?heuristic:Shortcut.heuristic -> t -> src:int -> dst:int -> in
 (** Route after the handshake: if [src] is in V(dst), the destination has
     revealed the exact shortest path; otherwise same as a first packet
     (stretch <= 3 given a landmark in each vicinity). *)
+
+val address_slab_bytes : t -> int -> int
+(** Exact bytes of [v]'s slice of the packed address slabs. *)
+
+val packed_state_bytes : t -> int -> float
+(** Exact per-node state measured from the packed slabs: vicinity view
+    arrays + a (parent, dist) slot per landmark tree + the node's own
+    address. Forces only [v]'s vicinity view (lazy-friendly at large n). *)
 
 type state_detail = {
   vicinity_entries : int;

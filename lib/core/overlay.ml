@@ -12,16 +12,6 @@ let u64_to_float h =
   if Int64.compare h 0L >= 0 then Int64.to_float h
   else Int64.to_float h +. 18446744073709551616.0
 
-(* Members of v's group, sorted by hash. *)
-let group_by_hash (nd : Nddisco.t) groups v =
-  let ms = Groups.members groups v in
-  Array.sort
-    (fun a b ->
-      let c = Hash_space.compare_unsigned nd.hashes.(a) nd.hashes.(b) in
-      if c <> 0 then c else Int.compare a b)
-    ms;
-  ms
-
 let build ~rng ?fingers (nd : Nddisco.t) groups =
   let fingers =
     match fingers with Some f -> f | None -> nd.params.Params.fingers
@@ -41,6 +31,12 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
       links.(b) <- a :: links.(b)
     end
   in
+  (* Groups are contiguous slices of the hash-sorted id array, so group
+     membership is a (start, stop) range — no per-node member copies or
+     re-sorts (those were quadratic-ish in group size across the n nodes).
+     [hfloat] maps sorted positions to hash positions as floats once. *)
+  let sorted = Groups.sorted_ids groups in
+  let hfloat = Array.map (fun w -> u64_to_float nd.hashes.(w)) sorted in
   (* Successor/predecessor links in hash order within each group: linking
      each group's sorted chain gives exactly the in-group portion of the
      global circular ordering (groups are contiguous hash ranges). *)
@@ -49,21 +45,21 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
     let key = (Groups.bits_of groups v, Groups.group_id groups v) in
     if not (Hashtbl.mem chains key) then begin
       Hashtbl.add chains key ();
-      let ms = group_by_hash nd groups v in
-      for i = 0 to Array.length ms - 2 do
-        add_link ms.(i) ms.(i + 1)
+      let start, stop = Groups.member_range groups v in
+      for i = start to stop - 2 do
+        add_link sorted.(i) sorted.(i + 1)
       done
     end
   done;
   (* Fingers: log-uniform hash-distance draws within the group (Symphony). *)
   let fingers_of = Array.make n [] in
   for v = 0 to n - 1 do
-    let ms = group_by_hash nd groups v in
-    let size = Array.length ms in
+    let start, stop = Groups.member_range groups v in
+    let size = stop - start in
     if size > 3 then begin
       let hv = u64_to_float nd.hashes.(v) in
-      let lo = u64_to_float nd.hashes.(ms.(0)) in
-      let hi = u64_to_float nd.hashes.(ms.(size - 1)) in
+      let lo = hfloat.(start) in
+      let hi = hfloat.(stop - 1) in
       let picked = ref 0 and attempts = ref 0 in
       while !picked < fingers && !attempts < 16 * fingers do
         incr attempts;
@@ -78,18 +74,48 @@ let build ~rng ?fingers (nd : Nddisco.t) groups =
           let mag = exp (Rng.float rng (log room)) in
           let target = if side_right then hv +. mag else hv -. mag in
           (* Closest member hash to the target (the resolution-database
-             query in the real protocol). *)
+             query in the real protocol), by binary search over the sorted
+             slice. Matches the old linear scan exactly: global minimum of
+             |hash - target| over members other than v, ties resolved to
+             the smallest sorted index. *)
+          let p =
+            let plo = ref start and phi = ref stop in
+            while !plo < !phi do
+              let mid = (!plo + !phi) / 2 in
+              if hfloat.(mid) < target then plo := mid + 1 else phi := mid
+            done;
+            !plo
+          in
           let best = ref (-1) and best_d = ref infinity in
-          Array.iter
-            (fun w ->
-              if w <> v then begin
-                let d = Float.abs (u64_to_float nd.hashes.(w) -. target) in
-                if d < !best_d then begin
-                  best_d := d;
-                  best := w
-                end
-              end)
-            ms;
+          (* Nearest non-v member at or right of the crossing. *)
+          let r = ref p in
+          while !r < stop && sorted.(!r) = v do
+            incr r
+          done;
+          if !r < stop then begin
+            best := sorted.(!r);
+            best_d := Float.abs (hfloat.(!r) -. target)
+          end;
+          (* Nearest non-v member left of the crossing, widened to the
+             leftmost of its equal-hash run (the linear scan's first-seen
+             tie rule). *)
+          let l = ref (p - 1) in
+          while !l >= start && sorted.(!l) = v do
+            decr l
+          done;
+          if !l >= start then begin
+            let d = Float.abs (hfloat.(!l) -. target) in
+            if d <= !best_d then begin
+              let ll = ref !l in
+              let j = ref (!l - 1) in
+              while !j >= start && hfloat.(!j) = hfloat.(!l) do
+                if sorted.(!j) <> v then ll := !j;
+                decr j
+              done;
+              best := sorted.(!ll);
+              best_d := d
+            end
+          end;
           if !best >= 0 && not (has_link v !best) then begin
             add_link v !best;
             fingers_of.(v) <- !best :: fingers_of.(v);

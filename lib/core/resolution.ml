@@ -4,7 +4,8 @@ module Consistent_hash = Disco_hash.Consistent_hash
 type t = {
   nd : Nddisco.t;
   ring : Consistent_hash.t;
-  sorted_hashes : (Hash_space.id * int) array;  (* every node, by hash *)
+  sorted : Packed.Kv64.t; (* every node keyed by name hash *)
+  mutable fib : Packed.Othello.t option; (* name hash -> owner landmark *)
   mutable owner_cache : int array option;
 }
 
@@ -16,15 +17,8 @@ let build (nd : Nddisco.t) =
       ~owner_name:(fun lm -> nd.names.(lm))
       ()
   in
-  let sorted_hashes =
-    Array.mapi (fun v h -> (h, v)) nd.hashes
-  in
-  Array.sort
-    (fun (a, va) (b, vb) ->
-      let c = Hash_space.compare_unsigned a b in
-      if c <> 0 then c else Int.compare va vb)
-    sorted_hashes;
-  { nd; ring; sorted_hashes; owner_cache = None }
+  let sorted = Packed.Kv64.of_pairs (Array.mapi (fun v h -> (h, v)) nd.hashes) in
+  { nd; ring; sorted; fib = None; owner_cache = None }
 
 let owner t name = Consistent_hash.owner_of_name t.ring name
 
@@ -35,6 +29,27 @@ let owners_by_node t =
       let a = Array.map (fun h -> Consistent_hash.owner_of t.ring h) t.nd.hashes in
       t.owner_cache <- Some a;
       a
+
+(* The succinct owner table: an Othello map from name-hash halves to the
+   owning landmark, a few bits per name instead of an 8-byte array slot.
+   Values reproduce [owners_by_node] exactly (they are built from it), so
+   the compiled fast path and the typed face stay bit-identical. *)
+let fib t =
+  match t.fib with
+  | Some f -> f
+  | None ->
+      let owners = owners_by_node t in
+      let n = Array.length t.nd.hashes in
+      let hi = Array.make n 0 and lo = Array.make n 0 in
+      Array.iteri
+        (fun v h ->
+          let h32, l32 = Packed.split64 h in
+          hi.(v) <- h32;
+          lo.(v) <- l32)
+        t.nd.hashes;
+      let f = Packed.Othello.build ~hi ~lo ~values:owners in
+      t.fib <- Some f;
+      f
 
 let entries_per_landmark t =
   Consistent_hash.load_counts t.ring ~keys:t.nd.hashes
@@ -75,19 +90,21 @@ let resolve_then_route ?(heuristic = Shortcut.No_path_knowledge) t ~src ~dst =
   end
 
 let find_closest_hash t key =
-  let arr = t.sorted_hashes in
-  let n = Array.length arr in
+  let arr = t.sorted in
+  let n = Packed.Kv64.length arr in
   (* Successor index by binary search, then compare with predecessor by
      circular distance. *)
-  let lo = ref 0 and hi = ref n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if Hash_space.compare_unsigned (fst arr.(mid)) key < 0 then lo := mid + 1
-    else hi := mid
-  done;
-  let succ_idx = if !lo = n then 0 else !lo in
+  let r = Packed.Kv64.rank_geq arr key in
+  let succ_idx = if r = n then 0 else r in
   let pred_idx = (succ_idx + n - 1) mod n in
-  let d_succ = Hash_space.ring_distance key (fst arr.(succ_idx)) in
-  let d_pred = Hash_space.ring_distance key (fst arr.(pred_idx)) in
-  if Hash_space.compare_unsigned d_pred d_succ < 0 then snd arr.(pred_idx)
-  else snd arr.(succ_idx)
+  let d_succ = Hash_space.ring_distance key (Packed.Kv64.key arr succ_idx) in
+  let d_pred = Hash_space.ring_distance key (Packed.Kv64.key arr pred_idx) in
+  if Hash_space.compare_unsigned d_pred d_succ < 0 then Packed.Kv64.value arr pred_idx
+  else Packed.Kv64.value arr succ_idx
+
+let ring_byte_size t = Consistent_hash.byte_size t.ring
+
+let byte_size t =
+  Consistent_hash.byte_size t.ring
+  + Packed.Kv64.byte_size t.sorted
+  + match t.fib with Some f -> Packed.Othello.byte_size f | None -> 0

@@ -40,3 +40,16 @@ val find_closest_hash : t -> Disco_hash.Hash_space.id -> int
     closest to the key — the database query Disco's overlay uses to pick
     fingers (§4.4): the resolution DB can answer it because it stores every
     name. *)
+
+val fib : t -> Packed.Othello.t
+(** The succinct owner table: an Othello map from name-hash halves to the
+    owning landmark, built on demand from the ring. Lookup is two bit-array
+    probes and an xor — the FIB the compiled fast path queries instead of a
+    materialised per-node owner array. Agrees with [owners_by_node]. *)
+
+val byte_size : t -> int
+(** Exact bytes of the packed ring, the sorted hash slab, and the Othello
+    FIB (when built). *)
+
+val ring_byte_size : t -> int
+(** Exact bytes of just the consistent-hash ring (every node stores it). *)

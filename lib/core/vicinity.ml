@@ -12,11 +12,13 @@ type t = {
   graph : Graph.t;
   k : int;
   cache : (int, view) Disco_util.Pool.Memo.t;
+  mutable slots : view array option;
+      (* direct-index face over the same view records, for compiled plans *)
 }
 
 let create graph ~k =
   if k < 0 then invalid_arg "Vicinity.create: k < 0";
-  { graph; k; cache = Disco_util.Pool.Memo.create ~size:256 () }
+  { graph; k; cache = Disco_util.Pool.Memo.create ~size:256 (); slots = None }
 
 let k t = t.k
 
@@ -100,3 +102,17 @@ let precompute_all t =
   done
 
 let cached_count t = Disco_util.Pool.Memo.length t.cache
+
+(* The packed face: one flat array slot per node holding the same view
+   record the memo serves, so a compiled plan indexes views directly
+   (no mutex, no re-flattened CSR copy) while the typed face keeps its
+   lazy fills. Forcing it computes every view once. *)
+let slots t =
+  match t.slots with
+  | Some s -> s
+  | None ->
+      let s = Array.init (Graph.n t.graph) (fun v -> view t v) in
+      t.slots <- Some s;
+      s
+
+let view_bytes vw = 8 * ((3 * Array.length vw.members) + 1)

@@ -8,6 +8,7 @@ type t =
       dist : float;
       path : int list;
     }
+  | Route_withdraw of { dest : int }
   | Resolve_insert of {
       origin : int;
       origin_name : string;
@@ -24,6 +25,7 @@ type t =
 let describe = function
   | Hello -> "hello"
   | Route_ann { dest; dist; _ } -> Printf.sprintf "route(%d, %.3f)" dest dist
+  | Route_withdraw { dest } -> Printf.sprintf "withdraw(%d)" dest
   | Resolve_insert { origin; target_lm; _ } ->
       Printf.sprintf "insert(%d -> lm %d)" origin target_lm
   | Addr_gossip { origin; _ } -> Printf.sprintf "gossip(%d)" origin

@@ -19,6 +19,12 @@ type t =
       dist : float;
       path : int list;  (** sender .. dest *)
     }
+  | Route_withdraw of { dest : int }
+      (** poisoned route: the sender no longer stands behind the path to
+          [dest] it previously advertised. Receivers whose stored route
+          uses the sender as first hop drop it and propagate, so routes to
+          a fail-stopped destination die in O(diameter) rather than by
+          slow count-to-infinity under soft-state expiry. *)
   | Resolve_insert of {
       origin : int;
       origin_name : string;

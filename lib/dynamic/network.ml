@@ -117,6 +117,11 @@ let announce_route t nd dest =
               (Msg.Route_ann
                  { dest; dest_is_landmark = r.r_is_lm; dist = r.r_dist; path = r.r_path }))
 
+let withdraw_route t nd dest =
+  Graph.iter_neighbors t.graph nd.id (fun nbr _ ->
+      if t.nodes.(nbr).active then
+        Sim.send t.sim ~src:nd.id ~dst:nbr (Msg.Route_withdraw { dest }))
+
 let announce_self t nd =
   Graph.iter_neighbors t.graph nd.id (fun nbr _ ->
       if t.nodes.(nbr).active then
@@ -179,7 +184,11 @@ let purge_routes t nd =
       in
       if r.r_expires < now t || hop_dead then dead := dest :: !dead)
     nd.routes;
-  List.iter (Hashtbl.remove nd.routes) !dead
+  List.iter
+    (fun dest ->
+      Hashtbl.remove nd.routes dest;
+      withdraw_route t nd dest)
+    !dead
 
 let purge_addrs t nd =
   let sweep store =
@@ -362,6 +371,14 @@ let handle t v ~src msg =
         match Graph.edge_weight t.graph v src with
         | Some w -> consider_route t nd ~dest ~dest_is_lm:dest_is_landmark ~dist:(dist +. w) ~path
         | None -> () (* overlay accounting message; no route content *))
+    | Msg.Route_withdraw { dest } -> (
+        (* Drop only routes standing on the withdrawer, and pass the
+           poison on; independent paths survive. *)
+        match Hashtbl.find_opt nd.routes dest with
+        | Some { r_path = _ :: hop :: _; _ } when hop = src ->
+            Hashtbl.remove nd.routes dest;
+            withdraw_route t nd dest
+        | _ -> ())
     | Msg.Resolve_insert { origin; origin_name; addr; target_lm } ->
         if v = target_lm then begin
           Hashtbl.replace nd.res_store origin
@@ -565,6 +582,15 @@ let route t ~src ~dst =
   if src = dst then Some [ src ]
   else if not (t.nodes.(src).active && t.nodes.(dst).active) then None
   else seek src [] (4 * n)
+
+let debug_dump t v =
+  let nd = t.nodes.(v) in
+  Printf.eprintf "node %d active=%b lm=%b known_lms=[%s] owner_of_19=%s res_store=[%s] routes_to_19=%b addr_19=%b\n"
+    v nd.active nd.is_lm
+    (String.concat ";" (List.map string_of_int (List.sort compare (known_landmarks nd))))
+    (match resolution_owner t nd t.nodes.(19).name with Some o -> string_of_int o | None -> "-")
+    (String.concat ";" (Hashtbl.fold (fun k _ acc -> string_of_int k :: acc) nd.res_store []))
+    (Hashtbl.mem nd.routes 19) (Hashtbl.mem nd.addr_store 19)
 
 let reachable_fraction t ~pairs =
   match pairs with

@@ -5,6 +5,27 @@ module Gen = Disco_graph.Gen
 module Stats = Disco_util.Stats
 module Core = Disco_core
 
+(* state: exact per-node bytes, every registered scheme. Unlike fig7's
+   modelled name sizes, this reads [ROUTER.state_bytes] — the storage the
+   packed slabs (CSR rows, distance slabs, Othello shares) actually
+   hold — so the numbers are the ones the scaling sweep extrapolates. *)
+let state (cfg : Engine.config) =
+  let { Engine.seed; scale; _ } = cfg in
+  let n = Scale.big_n scale in
+  Report.section
+    (Printf.sprintf
+       "state: exact packed-state bytes per node on router-level topology; n=%d"
+       n);
+  let tb = Testbed.make ~seed Gen.Router_level ~n in
+  let nn = Graph.n tb.Testbed.graph in
+  List.iter
+    (fun (module R : Protocol.ROUTER) ->
+      let t = R.build tb in
+      let bytes = Array.init nn (fun v -> R.state_bytes t v) in
+      Report.summary_line ~label:R.name bytes;
+      Report.cdf_series ~label:(Printf.sprintf "state.%s" R.name) bytes)
+    (Routers.all ())
+
 (* fig2: per-node state CDFs on geometric / AS / router topologies. *)
 let fig2 (cfg : Engine.config) =
   let { Engine.seed; scale; _ } = cfg in

@@ -3,6 +3,10 @@
     private helper. Runners print via {!Report} and accumulate onto the
     config's telemetry; see {!Engine.config} for the contract. *)
 
+val state : Engine.config -> unit
+(** Exact packed-state bytes per node, every registered scheme
+    ([ROUTER.state_bytes] over the router-level topology). *)
+
 val fig2 : Engine.config -> unit
 (** Per-node state CDFs (fig 2). *)
 

@@ -14,6 +14,7 @@ let runners : (string * (Engine.config -> unit)) list =
     ("header", Fig_address.header);
     ("vicinity", Fig_stretch.vicinity);
     ("fig2", Fig_state.fig2);
+    ("state", Fig_state.state);
     ("fig3", Fig_stretch.fig3);
     ("fig4", Fig_vrr.fig4);
     ("fig5", Fig_vrr.fig5);

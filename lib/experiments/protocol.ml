@@ -24,6 +24,7 @@ module type ROUTER = sig
     t -> tel:Telemetry.t -> src:int -> dst:int -> int list option
 
   val state_entries : t -> int -> int
+  val state_bytes : t -> int -> float
   val fork : t -> t
   val compile : t -> Dataplane.fast_plan
 end

@@ -82,6 +82,12 @@ module type ROUTER = sig
   (** Data-plane routing-table entries at one node, per the paper's
       accounting (§5.2). Never negative. *)
 
+  val state_bytes : t -> int -> float
+  (** Exact bytes of one node's routing state as actually held in the
+      packed representations (CSR rows, distance slabs, Othello FIB
+      shares) — measured storage, not entries × a modelled name size.
+      The [state] figure and the scaling bench plot this directly. *)
+
   val fork : t -> t
   (** A query handle that can route and forward concurrently with the
       original from another domain: shared converged state is immutable

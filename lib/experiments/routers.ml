@@ -40,6 +40,8 @@ module Disco_router = struct
   let state_entries t v =
     Core.Disco.total_entries (Core.Disco.state_entries t v)
 
+  let state_bytes t v = Core.Disco.packed_state_bytes t v
+
   (* Routing only reads converged state. *)
   let fork t = t
 
@@ -84,6 +86,26 @@ module Nddisco_router = struct
     Core.Nddisco.total_entries
       (Core.Nddisco.state_entries ~resolution_entries t.nd v)
 
+  let state_bytes t v =
+    (* NDDisco's packed share plus — at landmarks — the resolution shard:
+       a 16-byte slot and the stored packed address per owned name. *)
+    let resolution =
+      if Core.Resolution.entries_at t.resolution v = 0 then 0.0
+      else begin
+        let owners = Core.Resolution.owners_by_node t.resolution in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun w o ->
+            if o = v then
+              acc :=
+                !acc +. 16.0
+                +. float_of_int (8 + Core.Nddisco.address_slab_bytes t.nd w))
+          owners;
+        !acc
+      end
+    in
+    Core.Nddisco.packed_state_bytes t.nd v +. resolution
+
   let fork t = t
 
   let compile t =
@@ -99,8 +121,11 @@ module S4_router = struct
 
   type t = {
     s4 : S4.t;
-    cluster_sizes : int array;
-    resolution_loads : int array;
+    (* cluster_sizes accumulates every node's ball — O(total cluster
+       state), which million-node scaling runs must not pay at build
+       time. Forced only by the state queries, which the engine contract
+       keeps on the original handle (no cross-domain force). *)
+    sizes : (int array * int array) Lazy.t;
   }
 
   let name = "s4"
@@ -108,11 +133,7 @@ module S4_router = struct
 
   let build (tb : Testbed.t) =
     let s4 = tb.Testbed.s4 in
-    {
-      s4;
-      cluster_sizes = S4.cluster_sizes s4;
-      resolution_loads = S4.resolution_loads s4;
-    }
+    { s4; sizes = lazy (S4.cluster_sizes s4, S4.resolution_loads s4) }
 
   let ttl_factor = S4.ttl_factor
   let first_header t ~tel:_ ~src ~dst = S4.first_header t.s4 ~src ~dst
@@ -122,8 +143,12 @@ module S4_router = struct
   let oracle_later t ~tel:_ ~src ~dst = Some (S4.route_later t.s4 ~src ~dst)
 
   let state_entries t v =
-    S4.state_entries t.s4 ~cluster_sizes:t.cluster_sizes
-      ~resolution_loads:t.resolution_loads v
+    let cluster_sizes, resolution_loads = Lazy.force t.sizes in
+    S4.state_entries t.s4 ~cluster_sizes ~resolution_loads v
+
+  let state_bytes t v =
+    let cluster_sizes, resolution_loads = Lazy.force t.sizes in
+    S4.state_bytes t.s4 ~cluster_sizes ~resolution_loads v
 
   let fork t = t
 
@@ -154,6 +179,7 @@ module Vrr_router = struct
   let oracle_first t ~tel:_ ~src ~dst = Vrr.route t.vrr ~src ~dst
   let oracle_later = oracle_first
   let state_entries t v = t.state.(v)
+  let state_bytes t v = Vrr.state_bytes t.vrr v
   let fork t = t
 
   let compile t =
@@ -182,6 +208,7 @@ module Bvr_router = struct
   let oracle_first t ~tel:_ ~src ~dst = Bvr.route t ~src ~dst
   let oracle_later = oracle_first
   let state_entries t v = Bvr.state_entries t v
+  let state_bytes t v = Bvr.state_bytes t v
   let fork t = t
 
   let compile t =
@@ -207,6 +234,7 @@ module Seattle_router = struct
   let oracle_first t ~tel:_ ~src ~dst = Some (Seattle.route_first t ~src ~dst)
   let oracle_later t ~tel:_ ~src ~dst = Some (Seattle.route_later t ~src ~dst)
   let state_entries t v = Seattle.state_entries t v
+  let state_bytes t v = Seattle.state_bytes t v
   let fork t = t
 
   let compile t =
@@ -222,8 +250,17 @@ module Tz_router = struct
   let name = "tz"
   let flat_names = "no (hierarchy labels)"
 
+  (* The hierarchy depth follows the topology size: k = 2 is the paper's
+     Disco/S4 regime at evaluation scale, but holding k fixed while n
+     grows forfeits TZ's O~(n^{1/k}) state — million-node sweeps climb to
+     k = 4 as the tradeoff curve dictates. *)
+  let k_for n = if n <= 16_384 then 2 else if n <= 262_144 then 3 else 4
+
   let build (tb : Testbed.t) =
-    Tz.build ~rng:(Testbed.rng tb ~purpose:tz_purpose) ~k:2 tb.Testbed.graph
+    Tz.build
+      ~rng:(Testbed.rng tb ~purpose:tz_purpose)
+      ~k:(k_for (Graph.n tb.Testbed.graph))
+      tb.Testbed.graph
 
   let ttl_factor = Tz.ttl_factor
   let first_header t ~tel:_ ~src ~dst = Tz.packet_header t ~src ~dst
@@ -232,6 +269,7 @@ module Tz_router = struct
   let oracle_first t ~tel:_ ~src ~dst = Tz.route t ~src ~dst
   let oracle_later = oracle_first
   let state_entries t v = Tz.state t v
+  let state_bytes t v = Tz.state_bytes t v
   let fork t = t
 
   let compile t =
@@ -315,6 +353,11 @@ module Pathvector_router = struct
 
   let oracle_later = oracle_first
   let state_entries t _ = Graph.n t.graph - 1
+
+  (* A converged path-vector FIB holds (next hop, distance) per
+     destination; the advertised paths themselves are control-plane
+     state. *)
+  let state_bytes t _ = float_of_int (16 * (Graph.n t.graph - 1))
 
   (* The SSSP memo and the Dijkstra workspace are query-time mutable state:
      a fork gets fresh ones so two domains never share them. *)

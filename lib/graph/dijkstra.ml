@@ -73,9 +73,14 @@ let run_dijkstra ws g sources ~stop =
 
 type sssp = { dist : float array; parent : int array }
 
-let sssp ?ws g src =
+let sssp ?ws ?until g src =
   let ws = get_ws ws g in
-  let run = run_dijkstra ws g [| src |] ~stop:(fun _ _ _ -> false) in
+  let stop =
+    match until with
+    | None -> fun _ _ _ -> false
+    | Some t -> fun u _ _ -> u = t
+  in
+  let run = run_dijkstra ws g [| src |] ~stop in
   let n = Graph.n g in
   let dist = Array.make n infinity and parent = Array.make n (-1) in
   for v = 0 to n - 1 do

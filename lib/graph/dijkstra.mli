@@ -17,7 +17,10 @@ type sssp = { dist : float array; parent : int array }
 (** Full single-source result: [dist.(v) = infinity] and [parent.(v) = -1]
     when [v] is unreachable; [parent.(src) = -1]. *)
 
-val sssp : ?ws:workspace -> Graph.t -> int -> sssp
+val sssp : ?ws:workspace -> ?until:int -> Graph.t -> int -> sssp
+(** [sssp ?until g src] runs to exhaustion by default; with [~until:t] it
+    halts as soon as [t] settles (its [dist]/[parent] entries are final),
+    leaving later nodes at [infinity]/[-1]. *)
 
 val distance : ?ws:workspace -> Graph.t -> int -> int -> float
 (** Single-pair distance with early termination; [infinity] if unreachable. *)

@@ -166,6 +166,73 @@ let power_law ~rng ~n ~attach =
   connect_components b n rng (fun _ _ -> 1.0);
   Graph.Builder.build b
 
+(* GLP — generalized linear preference (Bu & Towsley, INFOCOM 2002).
+   Attachment probability ∝ (d_v − β): the repeated-endpoint store makes a
+   uniform draw ∝ d_v, and thinning by the accept probability 1 − β/d_v
+   turns that into GLP's shifted preference without per-node weights. With
+   probability [p] a step adds [m] links between existing nodes; otherwise
+   it adds a new node with [m] links. The defaults are the paper's fit to
+   AS-graph degree laws; [m = 1] keeps the edge count linear in n, which
+   is what lets the scaling sweep grow this to a million nodes. *)
+let glp ?(m = 1) ?(p = 0.4695) ?(beta = 0.6447) ~rng ~n () =
+  if n < 2 then invalid_arg "Gen.glp: n < 2";
+  if beta >= 1.0 then invalid_arg "Gen.glp: beta must be < 1";
+  let b = Graph.Builder.create n in
+  let degree = Array.make n 0 in
+  let store = ref (Array.make (max 16 (8 * m)) 0) in
+  let len = ref 0 in
+  let push v =
+    if !len >= Array.length !store then begin
+      let bigger = Array.make (2 * Array.length !store) 0 in
+      Array.blit !store 0 bigger 0 !len;
+      store := bigger
+    end;
+    !store.(!len) <- v;
+    incr len
+  in
+  let add_edge u v =
+    Graph.Builder.add_edge b u v 1.0;
+    degree.(u) <- degree.(u) + 1;
+    degree.(v) <- degree.(v) + 1;
+    push u;
+    push v
+  in
+  let draw () =
+    (* Expected attempts <= 1/(1 − β); the cap only guards degenerate
+       RNG streaks and falls back to plain degree bias. *)
+    let rec go attempts =
+      let u = !store.(Rng.int rng !len) in
+      if attempts > 200 then u
+      else if Rng.float rng 1.0 < 1.0 -. (beta /. float_of_int degree.(u))
+      then u
+      else go (attempts + 1)
+    in
+    go 0
+  in
+  let seed = min n (m + 1) in
+  for v = 0 to seed - 2 do
+    add_edge v (v + 1)
+  done;
+  let next = ref seed in
+  while !next < n do
+    if Rng.float rng 1.0 < p then
+      (* m new links between existing nodes, both ends preferential. *)
+      for _ = 1 to m do
+        let u = draw () and v = draw () in
+        if u <> v && not (Graph.Builder.has_edge b u v) then add_edge u v
+      done
+    else begin
+      let v = !next in
+      incr next;
+      for _ = 1 to m do
+        let u = draw () in
+        if not (Graph.Builder.has_edge b u v) then add_edge u v
+      done
+    end
+  done;
+  connect_components b n rng (fun _ _ -> 1.0);
+  Graph.Builder.build b
+
 let internet_as ~rng ~n = power_law ~rng ~n ~attach:2
 
 let internet_router ~rng ~n =
@@ -184,7 +251,7 @@ let internet_router ~rng ~n =
   done;
   Graph.Builder.build b
 
-type kind = As_level | Router_level | Gnm | Geometric
+type kind = As_level | Router_level | Gnm | Geometric | Glp
 
 let by_kind ~rng kind ~n =
   match kind with
@@ -192,14 +259,16 @@ let by_kind ~rng kind ~n =
   | Router_level -> internet_router ~rng ~n
   | Gnm -> gnm ~rng ~n ~m:(4 * n)
   | Geometric -> geometric ~rng ~n ~avg_degree:8.0
+  | Glp -> glp ~rng ~n ()
 
 let kind_name = function
   | As_level -> "as-level"
   | Router_level -> "router-level"
   | Gnm -> "gnm"
   | Geometric -> "geometric"
+  | Glp -> "glp"
 
-let all_kinds = [ As_level; Router_level; Gnm; Geometric ]
+let all_kinds = [ As_level; Router_level; Gnm; Geometric; Glp ]
 
 let kind_of_string s =
   List.find_opt (fun k -> String.equal (kind_name k) s) all_kinds

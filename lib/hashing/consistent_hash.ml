@@ -1,7 +1,17 @@
+(* Ring points packed as parallel int arrays: (hi, lo) unsigned 32-bit
+   halves of the position plus the owning node id. Plain int arrays keep
+   successor lookup allocation-free (no Int64 boxing on reads) and make
+   the ring's storage cost exact for state accounting. *)
 type t = {
-  points : (Hash_space.id * int) array; (* sorted by ring position *)
+  phi : int array; (* position, top 32 bits *)
+  plo : int array; (* position, bottom 32 bits *)
+  powner : int array;
   owner_ids : int array;
 }
+
+let split64 x =
+  ( Int64.to_int (Int64.shift_right_logical x 32),
+    Int64.to_int (Int64.logand x 0xFFFFFFFFL) )
 
 let create ?(replicas = 1) ~owners ~owner_name () =
   if replicas < 1 then invalid_arg "Consistent_hash.create: replicas";
@@ -21,22 +31,34 @@ let create ?(replicas = 1) ~owners ~owner_name () =
       let c = Hash_space.compare_unsigned a b in
       if c <> 0 then c else Int.compare oa ob)
     points;
-  { points; owner_ids = Array.copy owners }
+  let n = Array.length points in
+  let phi = Array.make n 0 and plo = Array.make n 0 and powner = Array.make n 0 in
+  Array.iteri
+    (fun i (pos, o) ->
+      let hi, lo = split64 pos in
+      phi.(i) <- hi;
+      plo.(i) <- lo;
+      powner.(i) <- o)
+    points;
+  { phi; plo; powner; owner_ids = Array.copy owners }
 
-let is_empty t = Array.length t.points = 0
+let is_empty t = Array.length t.phi = 0
 
 let owner_of t key =
-  let n = Array.length t.points in
+  let n = Array.length t.phi in
   if n = 0 then invalid_arg "Consistent_hash.owner_of: empty ring";
+  let khi, klo = split64 key in
   (* Binary search for the first point >= key; wrap to 0. *)
   let lo = ref 0 and hi = ref n in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    let pos, _ = t.points.(mid) in
-    if Hash_space.compare_unsigned pos key < 0 then lo := mid + 1 else hi := mid
+    let less =
+      t.phi.(mid) < khi || (t.phi.(mid) = khi && t.plo.(mid) < klo)
+    in
+    if less then lo := mid + 1 else hi := mid
   done;
   let idx = if !lo = n then 0 else !lo in
-  snd t.points.(idx)
+  t.powner.(idx)
 
 let owner_of_name t name = owner_of t (Hash_space.of_name name)
 
@@ -51,3 +73,5 @@ let load_counts t ~keys =
     keys;
   Array.to_list t.owner_ids
   |> List.map (fun o -> (o, Option.value ~default:0 (Hashtbl.find_opt counts o)))
+
+let byte_size t = 8 * (3 * Array.length t.phi)

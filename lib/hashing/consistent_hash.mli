@@ -27,3 +27,6 @@ val load_counts : t -> keys:Hash_space.id array -> (int * int) list
     owner, as [(owner, count)] pairs. *)
 
 val is_empty : t -> bool
+
+val byte_size : t -> int
+(** Exact bytes of the packed ring-point arrays (positions + owners). *)

@@ -60,6 +60,8 @@ let extras =
     "Disco_graph.Graph.degree";
     "Disco_graph.Graph.has_edge";
     "Disco_util.Bits.width_for";
+    "Disco_core.Packed.Othello.query";
+    "Disco_core.Packed.Csr.find_sorted";
   ]
 
 (* Entry points whose function arguments run on pool domains (rule L8).

@@ -118,6 +118,13 @@ let alloc_free_externals =
     "Bytes.length"; "Bytes.get"; "Bytes.set"; "Bytes.unsafe_get";
     "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit"; "Bytes.blit_string";
     "Bytes.unsafe_fill";
+    (* bigarray access primitives: at call sites where the array's kind is
+       statically known (our packed float slabs are concretely typed) the
+       compiler emits an inline load/store with an unboxed float, so hop
+       loops may read distance slabs directly — the throughput suite's
+       zero-alloc gate double-checks this empirically *)
+    "Bigarray.Array1.get"; "Bigarray.Array1.set"; "Bigarray.Array1.unsafe_get";
+    "Bigarray.Array1.unsafe_set"; "Bigarray.Array1.dim";
     (* zero-copy casts: no allocation, just a type-level reinterpretation *)
     "Bytes.unsafe_of_string"; "Bytes.unsafe_to_string";
     (* float predicates/conversions returning immediates *)

@@ -71,6 +71,7 @@ module Detour_router = struct
     | [] -> if u = h.D.dst then D.Deliver else D.Drop D.No_route
 
   let state_entries _ _ = 0
+  let state_bytes _ _ = 0.0
   let fork t = { t with ws = Dijkstra.make_workspace t.graph }
 
   (* Same order as [forward]: consume labels before the deliver check, so

@@ -146,6 +146,7 @@ module Lame_fast_router = struct
     | [] -> if u = h.D.dst then D.Deliver else D.Drop D.No_route
 
   let state_entries _ _ = 0
+  let state_bytes _ _ = 0.0
   let fork t = { t with ws = Dijkstra.make_workspace t.graph }
 
   let compile _t =

@@ -7,6 +7,8 @@ let () =
       ("bits", Test_bits.suite);
       ("heap", Test_heap.suite);
       ("union-find", Test_union_find.suite);
+      ("json", Test_json.suite);
+      ("packed", Test_packed.suite);
       ("stats", Test_stats.suite);
       ("sha256", Test_sha256.suite);
       ("hashing", Test_hashing.suite);

@@ -203,6 +203,30 @@ let prop_cold_start_converges =
       let pairs = sample_pairs ~count:25 ~n seed in
       Network.reachable_fraction net ~pairs = 1.0)
 
+(* Component labels of the graph with [casualty] removed: a fail-stop may
+   physically partition the topology (e.g. the casualty was a leaf's only
+   neighbour), and no protocol repairs a partition — only pairs still
+   connected in the residual graph are judged. *)
+let residual_components graph ~casualty =
+  let n = Graph.n graph in
+  let comp = Array.make n (-1) in
+  let q = Queue.create () in
+  for root = 0 to n - 1 do
+    if root <> casualty && comp.(root) < 0 then begin
+      comp.(root) <- root;
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        Graph.iter_neighbors graph u (fun w _ ->
+            if w <> casualty && comp.(w) < 0 then begin
+              comp.(w) <- root;
+              Queue.add w q
+            end)
+      done
+    end
+  done;
+  comp
+
 let prop_survives_one_failure =
   Helpers.qtest "any single fail-stop is repaired" ~count:5
     QCheck.(int_range 1 1000)
@@ -216,9 +240,11 @@ let prop_survives_one_failure =
       let casualty = seed mod n in
       Network.deactivate net casualty;
       Network.run_until net 1200.0;
+      let comp = residual_components graph ~casualty in
       let pairs =
         sample_pairs ~count:25 ~n seed
-        |> List.filter (fun (s, d) -> s <> casualty && d <> casualty)
+        |> List.filter (fun (s, d) ->
+               s <> casualty && d <> casualty && comp.(s) = comp.(d))
       in
       Network.reachable_fraction net ~pairs = 1.0)
 

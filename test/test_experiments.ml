@@ -103,7 +103,8 @@ let test_overlay_comparison () =
 
 let test_figures_registry () =
   Alcotest.(check bool) "fig2 known" true (List.mem "fig2" Figures.all_ids);
-  Alcotest.(check int) "22 experiments" 22 (List.length Figures.all_ids);
+  Alcotest.(check bool) "state known" true (List.mem "state" Figures.all_ids);
+  Alcotest.(check int) "23 experiments" 23 (List.length Figures.all_ids);
   Alcotest.(check bool) "scale parse" true (Figures.scale_of_string "small" = Some Figures.Small);
   Alcotest.(check bool) "scale parse paper" true (Figures.scale_of_string "paper" = Some Figures.Paper);
   Alcotest.(check bool) "scale parse bad" true (Figures.scale_of_string "huge" = None)

@@ -1,0 +1,107 @@
+(* The bench-gate JSON reader: structural parsing, member-order
+   independence (the bug that motivated it), escapes, and error cases. *)
+
+module Json = Disco_util.Json
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (parse_exn "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_exn "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_exn " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_exn "42" = Json.Num 42.0);
+  Alcotest.(check bool) "neg float" true (parse_exn "-1.5e2" = Json.Num (-150.0));
+  Alcotest.(check bool) "string" true (parse_exn {|"hi"|} = Json.Str "hi")
+
+let test_escapes () =
+  Alcotest.(check bool) "quote+backslash" true
+    (parse_exn {|"a\"b\\c"|} = Json.Str "a\"b\\c");
+  Alcotest.(check bool) "controls" true
+    (parse_exn {|"x\n\t\r"|} = Json.Str "x\n\t\r");
+  Alcotest.(check bool) "unicode ascii" true (parse_exn {|"A"|} = Json.Str "A");
+  Alcotest.(check bool) "unicode 2-byte" true
+    (parse_exn {|"é"|} = Json.Str "\xc3\xa9")
+
+let test_containers () =
+  Alcotest.(check bool) "empty obj" true (parse_exn "{}" = Json.Obj []);
+  Alcotest.(check bool) "empty arr" true (parse_exn "[]" = Json.Arr []);
+  let v = parse_exn {|{"a": [1, 2], "b": {"c": "d"}}|} in
+  Alcotest.(check bool) "nested arr" true
+    (Json.member "a" v = Some (Json.Arr [ Json.Num 1.0; Json.Num 2.0 ]));
+  Alcotest.(check bool) "nested obj" true
+    (Option.bind (Json.member "b" v) (Json.string_member "c") = Some "d")
+
+(* The regression the reader fixes: the old alloc-baseline scanner located
+   values by byte offset from the key, so any member order other than the
+   writer's exact layout mis-parsed.  The same row must read back
+   identically under every permutation. *)
+let test_member_order_independent () =
+  let layouts =
+    [
+      {|{"scheme": "disco", "kind": "first", "words_per_hop": 150.0}|};
+      {|{"words_per_hop": 150.0, "scheme": "disco", "kind": "first"}|};
+      {|{"kind": "first", "words_per_hop": 150.0, "scheme": "disco"}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = parse_exn s in
+      Alcotest.(check (option string)) "scheme" (Some "disco")
+        (Json.string_member "scheme" v);
+      Alcotest.(check (option string)) "kind" (Some "first")
+        (Json.string_member "kind" v);
+      Alcotest.(check bool) "wph" true
+        (Json.float_member "words_per_hop" v = Some 150.0))
+    layouts
+
+let test_accessors () =
+  let v = parse_exn {|{"i": 3, "f": 2.5, "s": "x", "l": [1]}|} in
+  Alcotest.(check (option int)) "int member" (Some 3) (Json.int_member "i" v);
+  Alcotest.(check (option int)) "non-integral" None (Json.int_member "f" v);
+  Alcotest.(check bool) "float member" true (Json.float_member "f" v = Some 2.5);
+  Alcotest.(check (option string)) "missing" None (Json.string_member "zz" v);
+  Alcotest.(check int) "list member" 1 (List.length (Json.list_member "l" v));
+  Alcotest.(check int) "list default" 0 (List.length (Json.list_member "s" v))
+
+let test_errors () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "expected failure on %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad {|{"a" 1}|};
+  bad "[1, 2,]";
+  bad {|"unterminated|};
+  bad "nulL";
+  bad "{} trailing"
+
+let test_of_file_round_trip () =
+  let path = Filename.temp_file "disco_json" ".json" in
+  let oc = open_out path in
+  output_string oc {|{"rows": [{"n": 10}, {"n": 20}]}|};
+  close_out oc;
+  (match Json.of_file path with
+  | Error e -> Alcotest.failf "of_file: %s" e
+  | Ok v ->
+      let ns = List.filter_map (Json.int_member "n") (Json.list_member "rows" v) in
+      Alcotest.(check (list int)) "rows" [ 10; 20 ] ns);
+  Sys.remove path;
+  Alcotest.(check bool) "missing file is Error" true
+    (match Json.of_file path with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "containers" `Quick test_containers;
+    Alcotest.test_case "member order independent" `Quick
+      test_member_order_independent;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "of_file round trip" `Quick test_of_file_round_trip;
+  ]
